@@ -1,0 +1,44 @@
+//! Criterion benchmarks for the bag-semantics Jaccard coefficient — the
+//! inner loop of `VSim` estimation (`O(k²)` bag pairs per categorical
+//! attribute).
+
+use aimq_sim::Bag;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn random_bag(distinct: usize, total: usize, seed: u64) -> Bag {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Bag::from_codes((0..total).map(|_| rng.random_range(0..distinct as u32)))
+}
+
+fn bench_jaccard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bag_jaccard");
+    for distinct in [16usize, 128, 1024] {
+        let a = random_bag(distinct, distinct * 8, 1);
+        let b = random_bag(distinct, distinct * 8, 2);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(distinct),
+            &(a, b),
+            |bench, (a, b)| {
+                bench.iter(|| black_box(a).jaccard(black_box(b)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_bag_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bag_from_codes");
+    for total in [1_000usize, 10_000] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let codes: Vec<u32> = (0..total).map(|_| rng.random_range(0..64)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(total), &codes, |b, codes| {
+            b.iter(|| Bag::from_codes(black_box(codes).iter().copied()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_jaccard, bench_bag_construction);
+criterion_main!(benches);

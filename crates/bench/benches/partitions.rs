@@ -1,0 +1,64 @@
+//! Criterion benchmarks for the TANE partition kernel: building stripped
+//! partitions from encoded columns, the stripped product, and the g3
+//! error procedures. These dominate dependency-mining time, so the
+//! numbers here explain the AIMQ rows of Table 2.
+
+use aimq_afd::{BucketConfig, EncodedRelation, Partition};
+use aimq_catalog::AttrId;
+use aimq_data::CarDb;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn encoded(n: usize) -> EncodedRelation {
+    let rel = CarDb::generate(n, 7);
+    EncodedRelation::encode(&rel, &BucketConfig::for_schema(rel.schema()))
+}
+
+fn bench_from_codes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_from_codes");
+    for n in [10_000usize, 50_000] {
+        let enc = encoded(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &enc, |b, enc| {
+            b.iter(|| Partition::from_codes(black_box(enc.codes(AttrId(1)))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_product(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_product");
+    for n in [10_000usize, 50_000] {
+        let enc = encoded(n);
+        let make = Partition::from_codes(enc.codes(AttrId(0)));
+        let year = Partition::from_codes(enc.codes(AttrId(2)));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(make, year),
+            |b, (make, year)| {
+                b.iter(|| black_box(make).product(black_box(year)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_afd_error(c: &mut Criterion) {
+    let mut group = c.benchmark_group("g3_afd_error");
+    for n in [10_000usize, 50_000] {
+        let enc = encoded(n);
+        let model = Partition::from_codes(enc.codes(AttrId(1)));
+        let make = Partition::from_codes(enc.codes(AttrId(0)));
+        let joint = model.product(&make);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(model, joint),
+            |b, (model, joint)| {
+                b.iter(|| black_box(model).afd_error(black_box(joint)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_from_codes, bench_product, bench_afd_error);
+criterion_main!(benches);

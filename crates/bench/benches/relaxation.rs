@@ -1,0 +1,79 @@
+//! Criterion benchmarks for online query answering: the full Algorithm 1
+//! pipeline under GuidedRelax and RandomRelax, plus an ablation of the
+//! relaxation depth.
+
+use aimq::{AimqSystem, EngineConfig, GuidedRelax, RandomRelax, TrainConfig};
+use aimq_catalog::ImpreciseQuery;
+use aimq_data::CarDb;
+use aimq_storage::InMemoryWebDb;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn setup(n: usize) -> (InMemoryWebDb, AimqSystem, Vec<ImpreciseQuery>) {
+    let db = InMemoryWebDb::new(CarDb::generate(n, 7));
+    let sample = db.relation().random_sample(n / 4, 1);
+    let system = AimqSystem::train(&sample, &TrainConfig::default()).unwrap();
+    let queries: Vec<ImpreciseQuery> = (0..5u32)
+        .map(|i| ImpreciseQuery::from_tuple(&db.relation().tuple(i * 37)).unwrap())
+        .collect();
+    (db, system, queries)
+}
+
+fn bench_answering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("answer_imprecise_query");
+    group.sample_size(10);
+    let (db, system, queries) = setup(25_000);
+    let config = EngineConfig {
+        t_sim: 0.6,
+        top_k: 10,
+        max_relax_level: 2,
+        target_relevant: Some(20),
+        ..EngineConfig::default()
+    };
+    group.bench_function("guided", |b| {
+        b.iter(|| {
+            let mut strategy = GuidedRelax::new(system.ordering().clone());
+            for q in &queries {
+                black_box(system.answer_with_strategy(&db, q, &config, &mut strategy));
+            }
+        });
+    });
+    group.bench_function("random", |b| {
+        b.iter(|| {
+            let mut strategy = RandomRelax::new(9);
+            for q in &queries {
+                black_box(system.answer_with_strategy(&db, q, &config, &mut strategy));
+            }
+        });
+    });
+    group.finish();
+}
+
+/// Ablation: relaxation depth. Deeper relaxation reaches more candidates
+/// but issues combinatorially more queries.
+fn bench_relax_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relax_depth_ablation");
+    group.sample_size(10);
+    let (db, system, queries) = setup(25_000);
+    for depth in [1usize, 2, 3] {
+        let config = EngineConfig {
+            t_sim: 0.6,
+            top_k: 10,
+            max_relax_level: depth,
+            target_relevant: Some(20),
+            ..EngineConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &config, |b, config| {
+            b.iter(|| {
+                let mut strategy = GuidedRelax::new(system.ordering().clone());
+                for q in &queries {
+                    black_box(system.answer_with_strategy(&db, q, config, &mut strategy));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_answering, bench_relax_depth);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benchmarks for the ROCK baseline's phases: link computation
+//! (O(n·d²)), agglomerative clustering and labeling — the ROCK rows of
+//! Table 2. The super-linear growth with sample size is the paper's
+//! argument for AIMQ's cheaper preprocessing.
+
+use aimq_afd::{BucketConfig, EncodedRelation};
+use aimq_data::CarDb;
+use aimq_rock::{cluster_greedy, compute_links, PointSet, RockConfig, RockModel};
+use aimq_storage::RowId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn encoded(n: usize) -> EncodedRelation {
+    let rel = CarDb::generate(n, 7);
+    EncodedRelation::encode(&rel, &BucketConfig::for_schema(rel.schema()))
+}
+
+fn bench_links(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rock_links");
+    group.sample_size(10);
+    let enc = encoded(4_000);
+    let points = PointSet::from_encoded(&enc);
+    for n in [500usize, 1_000, 2_000] {
+        let members: Vec<RowId> = (0..n as RowId).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &members, |b, members| {
+            b.iter(|| compute_links(black_box(&points), members, 0.25));
+        });
+    }
+    group.finish();
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rock_clustering");
+    group.sample_size(10);
+    let enc = encoded(4_000);
+    let points = PointSet::from_encoded(&enc);
+    let members: Vec<RowId> = (0..2_000).collect();
+    let links = compute_links(&points, &members, 0.25);
+    group.bench_function("2000pts", |b| {
+        b.iter(|| cluster_greedy(black_box(&links), 2_000, 0.25, 25));
+    });
+    group.finish();
+}
+
+fn bench_full_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rock_fit_with_labeling");
+    group.sample_size(10);
+    for n in [5_000usize, 10_000] {
+        let enc = encoded(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &enc, |b, enc| {
+            b.iter(|| {
+                RockModel::fit(
+                    black_box(enc),
+                    RockConfig {
+                        theta: 0.25,
+                        target_clusters: 25,
+                        sample_size: 1_000,
+                        seed: 7,
+                        min_cluster_size: 1,
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_links, bench_clustering, bench_full_fit);
+criterion_main!(benches);

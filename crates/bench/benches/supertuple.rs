@@ -1,0 +1,78 @@
+//! Criterion benchmarks for supertuple generation and full
+//! similarity-model construction — the two AIMQ phases of Table 2. The
+//! paper's observation that similarity-estimation cost tracks the number
+//! of AV-pairs, not tuples, is visible here: doubling the tuple count
+//! roughly doubles only the (cheap) supertuple scan.
+
+use aimq_afd::{AttributeOrdering, BucketConfig, EncodedRelation, MinedDependencies, TaneConfig};
+use aimq_catalog::AttrId;
+use aimq_data::CarDb;
+use aimq_sim::{build_supertuples, SimConfig, SimilarityModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_supertuple_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("supertuple_generation");
+    for n in [10_000usize, 25_000, 50_000] {
+        let rel = CarDb::generate(n, 7);
+        let enc = EncodedRelation::encode(&rel, &BucketConfig::for_schema(rel.schema()));
+        // Model is the widest categorical attribute (~100 values).
+        group.bench_with_input(BenchmarkId::from_parameter(n), &enc, |b, enc| {
+            b.iter(|| build_supertuples(black_box(enc), AttrId(1)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_similarity_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity_model_build");
+    group.sample_size(10);
+    for n in [5_000usize, 25_000] {
+        let rel = CarDb::generate(n, 7);
+        let bucket = BucketConfig::for_schema(rel.schema());
+        let enc = EncodedRelation::encode(&rel, &bucket);
+        let mined = MinedDependencies::mine(&enc, &TaneConfig::default());
+        let ordering = AttributeOrdering::derive(rel.schema(), &mined).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &rel, |b, rel| {
+            b.iter(|| {
+                SimilarityModel::build(
+                    black_box(rel),
+                    &ordering,
+                    &SimConfig {
+                        bucket: bucket.clone(),
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: sequential vs crossbeam-parallel matrix mining.
+fn bench_parallel_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity_model_parallel_ablation");
+    group.sample_size(10);
+    let rel = CarDb::generate(25_000, 7);
+    let bucket = BucketConfig::for_schema(rel.schema());
+    let enc = EncodedRelation::encode(&rel, &bucket);
+    let mined = MinedDependencies::mine(&enc, &TaneConfig::default());
+    let ordering = AttributeOrdering::derive(rel.schema(), &mined).unwrap();
+    let config = SimConfig {
+        bucket: bucket.clone(),
+    };
+    group.bench_function("sequential", |b| {
+        b.iter(|| SimilarityModel::build(black_box(&rel), &ordering, &config));
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| SimilarityModel::build_parallel(black_box(&rel), &ordering, &config));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_supertuple_generation,
+    bench_similarity_model,
+    bench_parallel_build
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benchmarks for end-to-end TANE mining (AFDs + approximate
+//! keys) on both corpora, plus an ablation of the superkey-pruning
+//! option. CensusDB's 13 attributes make the lattice much wider than
+//! CarDB's 7 — the reason `census_tane()` caps the antecedent size.
+
+use aimq_afd::{BucketConfig, EncodedRelation, MinedDependencies, TaneConfig};
+use aimq_data::{CarDb, CensusDb};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_cardb_mining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tane_cardb");
+    group.sample_size(10);
+    for n in [5_000usize, 25_000] {
+        let rel = CarDb::generate(n, 7);
+        let enc = EncodedRelation::encode(&rel, &BucketConfig::for_schema(rel.schema()));
+        let config = TaneConfig::default();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &enc, |b, enc| {
+            b.iter(|| MinedDependencies::mine(black_box(enc), &config));
+        });
+    }
+    group.finish();
+}
+
+fn bench_census_mining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tane_census");
+    group.sample_size(10);
+    let (rel, _) = CensusDb::generate(10_000, 7);
+    let enc = EncodedRelation::encode(&rel, &BucketConfig::for_schema(rel.schema()));
+    let config = TaneConfig {
+        max_lhs_size: 2,
+        max_key_size: 3,
+        ..TaneConfig::default()
+    };
+    group.bench_function("10000x13attrs", |b| {
+        b.iter(|| MinedDependencies::mine(black_box(&enc), &config));
+    });
+    group.finish();
+}
+
+/// Ablation: DESIGN.md calls out superkey pruning as a trade-off between
+/// fidelity (keep every AFD for Algorithm 2's sums) and speed.
+fn bench_superkey_pruning_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tane_prune_ablation");
+    group.sample_size(10);
+    let rel = CarDb::generate(10_000, 7);
+    let enc = EncodedRelation::encode(&rel, &BucketConfig::for_schema(rel.schema()));
+    for prune in [false, true] {
+        let config = TaneConfig {
+            prune_superkeys: prune,
+            ..TaneConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if prune { "pruned" } else { "full" }),
+            &config,
+            |b, config| {
+                b.iter(|| MinedDependencies::mine(black_box(&enc), config));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cardb_mining,
+    bench_census_mining,
+    bench_superkey_pruning_ablation
+);
+criterion_main!(benches);

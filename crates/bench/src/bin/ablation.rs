@@ -1,0 +1,10 @@
+//! Runs the **ablation study**: answer quality under different attribute-
+//! importance sources (mined / smoothed / uniform / query-log driven).
+use aimq_eval::{experiments::ablation, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    aimq_bench::preamble("Extension: importance-source ablation", scale);
+    let result = ablation::run(scale, 42);
+    println!("{}", result.render());
+}

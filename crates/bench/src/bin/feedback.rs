@@ -1,0 +1,16 @@
+//! Runs the **relevance feedback** extension experiment (the paper's
+//! Section 7 plan): per-round top-10 quality as a simulated user tunes
+//! attribute weights.
+use aimq_eval::{experiments::feedback, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    aimq_bench::preamble("Extension: relevance feedback", scale);
+    let result = feedback::run(scale, 42);
+    println!("{}", result.render());
+    println!(
+        "Feedback improves the ranking: {} (gain {:+.3})",
+        result.improves(),
+        result.gain()
+    );
+}

@@ -1,0 +1,17 @@
+//! Reproduces **Figure 4** (robustness in mining approximate keys).
+use aimq_eval::{experiments::fig4, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    aimq_bench::preamble("Figure 4: robustness in mining keys", scale);
+    let result = fig4::run(scale, 42);
+    println!("{}", result.render());
+    for (i, size) in result.sample_sizes.iter().enumerate() {
+        println!(
+            "{size} tuples: best key {}, {} full-data keys missing",
+            result.best_key[i],
+            result.missing_in(i)
+        );
+    }
+    println!("Best key stable across samples: {}", result.best_key_stable());
+}

@@ -1,0 +1,12 @@
+//! Reproduces **Figure 5** (similarity graph for Make).
+use aimq_eval::{experiments::fig5, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    aimq_bench::preamble("Figure 5: similarity graph for Make", scale);
+    let result = fig5::run(scale, 42);
+    println!("{}", result.render());
+    if let (Some(fc), Some(fb)) = (result.sim("Ford", "Chevrolet"), result.sim("Ford", "BMW")) {
+        println!("Ford~Chevrolet = {fc:.3}, Ford~BMW = {fb:.3}");
+    }
+}

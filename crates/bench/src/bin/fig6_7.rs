@@ -1,0 +1,9 @@
+//! Reproduces **Figures 6 & 7** (efficiency of Guided vs Random relaxation).
+use aimq_eval::{experiments::fig67, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    aimq_bench::preamble("Figures 6 & 7: query relaxation efficiency", scale);
+    let result = fig67::run(scale, 42);
+    println!("{}", result.render());
+}

@@ -1,0 +1,15 @@
+//! Reproduces **Figure 8** (simulated user study, average MRR).
+use aimq_eval::{experiments::fig8, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    aimq_bench::preamble("Figure 8: simulated user study (MRR)", scale);
+    let result = fig8::run(scale, 42);
+    println!("{}", result.render());
+    println!("{}", result.render_quality());
+    println!("GuidedRelax wins on MRR: {}", result.guided_wins());
+    println!(
+        "GuidedRelax extracts the most relevant answers: {}",
+        result.guided_extracts_most_relevant()
+    );
+}

@@ -1,0 +1,14 @@
+//! Reproduces **Figure 9** (CensusDB classification accuracy).
+use aimq_eval::{experiments::fig9, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    aimq_bench::preamble("Figure 9: CensusDB top-k accuracy", scale);
+    let result = fig9::run(scale, 42);
+    println!("{}", result.render());
+    println!(
+        "avg answers per query: AIMQ {:.1}, ROCK {:.1}",
+        result.avg_aimq_answers, result.avg_rock_answers
+    );
+    println!("AIMQ dominates ROCK at every k: {}", result.aimq_dominates());
+}

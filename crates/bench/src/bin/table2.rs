@@ -1,0 +1,13 @@
+//! Reproduces **Table 2** (offline computation time).
+use aimq_eval::{experiments::table2, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    aimq_bench::preamble("Table 2: offline computation time", scale);
+    let result = table2::run(scale, 42);
+    println!("{}", result.render());
+    println!(
+        "AIMQ cheaper than ROCK on both datasets: {}",
+        result.aimq_cheaper()
+    );
+}

@@ -1,0 +1,13 @@
+//! Reproduces **Table 3** (robust similarity estimation).
+use aimq_eval::{experiments::table3, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    aimq_bench::preamble("Table 3: robust similarity estimation", scale);
+    let result = table3::run(scale, 42);
+    println!("{}", result.render());
+    println!(
+        "Top similar value agrees between sample and full data: {}",
+        result.top_value_agrees()
+    );
+}

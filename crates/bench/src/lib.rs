@@ -1,0 +1,21 @@
+//! # aimq-bench
+//!
+//! Reproduction binaries (one per table/figure of the paper) plus
+//! Criterion micro-benchmarks for the performance-sensitive kernels.
+//!
+//! Run an experiment at paper scale:
+//!
+//! ```text
+//! cargo run -p aimq-bench --release --bin fig6_7
+//! ```
+//!
+//! or throttled (divide all dataset sizes by N):
+//!
+//! ```text
+//! AIMQ_SCALE=10 cargo run -p aimq-bench --release --bin fig6_7
+//! ```
+
+/// Shared entry preamble for the experiment binaries.
+pub fn preamble(name: &str, scale: aimq_eval::Scale) {
+    println!("== {name} (scale: {scale}) ==");
+}

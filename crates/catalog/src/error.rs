@@ -1,0 +1,107 @@
+use std::fmt;
+
+/// Errors produced while building or validating catalog objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// An attribute name was referenced that does not exist in the schema.
+    UnknownAttribute(String),
+    /// An attribute id was out of range for the schema.
+    AttrIdOutOfRange {
+        /// The offending attribute index.
+        attr: usize,
+        /// The schema's arity.
+        len: usize,
+    },
+    /// Two attributes with the same name were added to one schema.
+    DuplicateAttribute(String),
+    /// A tuple had a different arity than its schema.
+    ArityMismatch {
+        /// The schema's arity.
+        expected: usize,
+        /// The tuple's arity.
+        actual: usize,
+    },
+    /// A value's type did not match the attribute's declared domain.
+    DomainMismatch {
+        /// The attribute's name.
+        attribute: String,
+        /// The domain the schema declares.
+        expected: &'static str,
+        /// The type of the offending value.
+        actual: &'static str,
+    },
+    /// A predicate used an operator that is meaningless for the domain
+    /// (e.g. `<` on a categorical attribute).
+    InvalidOperator {
+        /// The attribute's name.
+        attribute: String,
+        /// The rejected operator symbol.
+        op: String,
+    },
+    /// An imprecise query bound no attributes at all.
+    EmptyQuery,
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::UnknownAttribute(name) => {
+                write!(f, "unknown attribute `{name}`")
+            }
+            CatalogError::AttrIdOutOfRange { attr, len } => {
+                write!(f, "attribute id {attr} out of range for schema with {len} attributes")
+            }
+            CatalogError::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute `{name}` in schema")
+            }
+            CatalogError::ArityMismatch { expected, actual } => {
+                write!(f, "tuple arity {actual} does not match schema arity {expected}")
+            }
+            CatalogError::DomainMismatch {
+                attribute,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "attribute `{attribute}` expects {expected} values but got a {actual} value"
+            ),
+            CatalogError::InvalidOperator { attribute, op } => {
+                write!(f, "operator `{op}` is not valid for attribute `{attribute}`")
+            }
+            CatalogError::EmptyQuery => write!(f, "query binds no attributes"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CatalogError::UnknownAttribute("Mdoel".into());
+        assert!(e.to_string().contains("Mdoel"));
+        let e = CatalogError::ArityMismatch {
+            expected: 7,
+            actual: 3,
+        };
+        assert!(e.to_string().contains('7') && e.to_string().contains('3'));
+        let e = CatalogError::DomainMismatch {
+            attribute: "Price".into(),
+            expected: "numeric",
+            actual: "categorical",
+        };
+        assert!(e.to_string().contains("Price"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(CatalogError::EmptyQuery, CatalogError::EmptyQuery);
+        assert_ne!(
+            CatalogError::EmptyQuery,
+            CatalogError::UnknownAttribute("x".into())
+        );
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # aimq-catalog
+//!
+//! The data model shared by every crate in the AIMQ reproduction of
+//! *Answering Imprecise Queries over Autonomous Web Databases*
+//! (Nambiar & Kambhampati, ICDE 2006).
+//!
+//! The paper works with flat relations projected by autonomous Web
+//! databases: every attribute is either *categorical* (an opaque string
+//! drawn from a finite domain, e.g. `Make`, `Model`, `Color`) or *numeric*
+//! (a continuous value, e.g. `Price`, `Mileage`). Queries come in two
+//! flavours:
+//!
+//! * [`SelectionQuery`] — a *precise* conjunctive selection that a Web
+//!   database with a boolean query-processing model can evaluate directly
+//!   (`Model = Camry AND Price <= 10000`);
+//! * [`ImpreciseQuery`] — the user-facing *imprecise* query of the paper
+//!   (`Model like Camry, Price like 10000`), which must be answered with a
+//!   ranked set of tuples whose similarity to the query exceeds a
+//!   threshold.
+//!
+//! This crate deliberately contains no algorithms: mining, similarity
+//! estimation and query answering live in the `aimq-afd`, `aimq-sim` and
+//! `aimq` crates. Keeping the model tiny lets every subsystem — including
+//! the ROCK baseline — speak the same types.
+
+mod bucket;
+mod error;
+mod query;
+mod schema;
+mod tuple;
+mod value;
+
+pub use bucket::BucketSpec;
+pub use error::CatalogError;
+pub use query::{ImpreciseQuery, Predicate, PredicateOp, SelectionQuery};
+pub use schema::{AttrId, Attribute, Domain, Schema, SchemaBuilder};
+pub use tuple::Tuple;
+pub use value::Value;
+
+/// Convenience result alias used across the catalog crate.
+pub type Result<T> = std::result::Result<T, CatalogError>;

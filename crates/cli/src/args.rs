@@ -1,0 +1,101 @@
+//! Minimal `--flag value` argument parser (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags: every argument is `--name value`.
+#[derive(Debug, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse `--name value` pairs; rejects positional arguments and
+    /// dangling flags.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut flags = HashMap::new();
+        let mut iter = argv.iter();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{arg}` (flags are --name value)"));
+            };
+            let Some(value) = iter.next() else {
+                return Err(format!("flag --{name} is missing its value"));
+            };
+            if flags.insert(name.to_owned(), value.clone()).is_some() {
+                return Err(format!("flag --{name} given twice"));
+            }
+        }
+        Ok(Args { flags })
+    }
+
+    /// A flag that must be present.
+    pub fn required(&self, name: &str) -> Result<String, String> {
+        self.flags
+            .get(name)
+            .cloned()
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Optional `f64` flag with a default.
+    pub fn f64_or(&self, name: &str, default: f64) -> Result<f64, String> {
+        self.parse_or(name, default)
+    }
+
+    /// Optional `usize` flag with a default.
+    pub fn usize_or(&self, name: &str, default: usize) -> Result<usize, String> {
+        self.parse_or(name, default)
+    }
+
+    /// Optional `u64` flag with a default.
+    pub fn u64_or(&self, name: &str, default: u64) -> Result<u64, String> {
+        self.parse_or(name, default)
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("flag --{name} has invalid value `{raw}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_flag_pairs() {
+        let a = Args::parse(&argv(&["--csv", "cars.csv", "--k", "5"])).unwrap();
+        assert_eq!(a.required("csv").unwrap(), "cars.csv");
+        assert_eq!(a.usize_or("k", 10).unwrap(), 5);
+        assert_eq!(a.usize_or("missing", 10).unwrap(), 10);
+    }
+
+    #[test]
+    fn rejects_malformed_argv() {
+        assert!(Args::parse(&argv(&["positional"])).is_err());
+        assert!(Args::parse(&argv(&["--dangling"])).is_err());
+        assert!(Args::parse(&argv(&["--a", "1", "--a", "2"])).is_err());
+    }
+
+    #[test]
+    fn typed_accessors_validate() {
+        let a = Args::parse(&argv(&["--tsim", "abc"])).unwrap();
+        assert!(a.f64_or("tsim", 0.5).is_err());
+        let a = Args::parse(&argv(&["--tsim", "0.7"])).unwrap();
+        assert_eq!(a.f64_or("tsim", 0.5).unwrap(), 0.7);
+    }
+
+    #[test]
+    fn required_flag_error_message_names_the_flag() {
+        let a = Args::parse(&[]).unwrap();
+        let err = a.required("query").unwrap_err();
+        assert!(err.contains("--query"));
+    }
+}

@@ -1,0 +1,393 @@
+//! `aimq` — command-line interface to the AIMQ imprecise-query system.
+//!
+//! ```text
+//! aimq demo  [--size N] [--seed S]
+//! aimq mine  --csv FILE --schema SPEC [--terr X] [--max-lhs N]
+//! aimq query --csv FILE --schema SPEC --query "Attr like V, ..."
+//!            [--tsim X] [--k N] [--sample N] [--seed S]
+//! ```
+//!
+//! `SPEC` is `Name:cat,Name:num,...` in column order; the CSV's header
+//! row must match the attribute names. See `aimq help`.
+
+mod args;
+mod query_lang;
+mod schema_spec;
+
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use aimq::{AimqSystem, EngineConfig, TrainConfig};
+use aimq_afd::TaneConfig;
+use aimq_catalog::Schema;
+use aimq_data::CarDb;
+use aimq_storage::{read_csv, InMemoryWebDb, Relation};
+
+use args::Args;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(command) = argv.first() else {
+        print_help();
+        return Ok(());
+    };
+    let args = Args::parse(&argv[1..])?;
+    match command.as_str() {
+        "demo" => demo(&args),
+        "describe" => describe(&args),
+        "mine" => mine(&args),
+        "query" => query(&args),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `aimq help`)")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "aimq — answering imprecise queries over autonomous databases\n\
+         (reproduction of Nambiar & Kambhampati, ICDE 2006)\n\n\
+         USAGE:\n\
+         \x20 aimq demo     [--size N] [--seed S]\n\
+         \x20 aimq describe --csv FILE --schema SPEC\n\
+         \x20 aimq mine  --csv FILE --schema SPEC [--terr X] [--max-lhs N]\n\
+         \x20            [--save MODEL]\n\
+         \x20 aimq query --csv FILE --schema SPEC --query \"Attr like V, ...\"\n\
+         \x20            [--tsim X] [--k N] [--sample N] [--seed S] [--model MODEL]\n\n\
+         SPEC:  Name:cat,Name:num,...  (column order; CSV header must match)\n\
+         QUERY: the paper's notation, e.g. \"Model like Camry, Price like 10000\""
+    );
+}
+
+/// Load the relation + schema a data-driven command needs.
+fn load(args: &Args) -> Result<(Schema, Relation), String> {
+    let csv_path = args.required("csv")?;
+    let spec = args.required("schema")?;
+    let schema = schema_spec::parse_schema("R", &spec)?;
+    let file = std::fs::File::open(&csv_path)
+        .map_err(|e| format!("cannot open {csv_path}: {e}"))?;
+    let relation =
+        read_csv(&schema, BufReader::new(file)).map_err(|e| format!("{csv_path}: {e}"))?;
+    if relation.is_empty() {
+        return Err(format!("{csv_path} holds no tuples"));
+    }
+    Ok((schema, relation))
+}
+
+fn train_config(args: &Args) -> Result<TrainConfig, String> {
+    Ok(TrainConfig {
+        tane: TaneConfig {
+            error_threshold: args.f64_or("terr", 0.15)?,
+            max_lhs_size: args.usize_or("max-lhs", 3)?,
+            ..TaneConfig::default()
+        },
+        smoothing: 0.05,
+        ..TrainConfig::default()
+    })
+}
+
+fn describe(args: &Args) -> Result<(), String> {
+    use aimq_catalog::Domain;
+    let (schema, relation) = load(args)?;
+    println!("relation: {} ({} tuples)\n", schema, relation.len());
+    for attr in schema.attr_ids() {
+        let column = relation.column(attr);
+        match schema.domain(attr) {
+            Domain::Categorical => {
+                // Top values by frequency, via the inverted index.
+                let dict = column.dictionary().expect("categorical column");
+                let mut freq: Vec<(usize, &str)> = (0..dict.len() as u32)
+                    .map(|code| {
+                        (
+                            relation.rows_with_code(attr, code).len(),
+                            dict.value_of(code).expect("dense code"),
+                        )
+                    })
+                    .collect();
+                freq.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(b.1)));
+                let top: Vec<String> = freq
+                    .iter()
+                    .take(5)
+                    .map(|(n, v)| format!("{v} ({n})"))
+                    .collect();
+                println!(
+                    "  {:22} categorical, {} distinct: {}",
+                    schema.attr_name(attr),
+                    dict.len(),
+                    top.join(", ")
+                );
+            }
+            Domain::Numeric => {
+                let values = column.numbers().expect("numeric column");
+                let finite: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+                if finite.is_empty() {
+                    println!("  {:22} numeric, all null", schema.attr_name(attr));
+                    continue;
+                }
+                let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let mean = finite.iter().sum::<f64>() / finite.len() as f64;
+                println!(
+                    "  {:22} numeric, {} distinct, min {min}, mean {mean:.1}, max {max}",
+                    schema.attr_name(attr),
+                    column.distinct_count(),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn mine(args: &Args) -> Result<(), String> {
+    let (schema, relation) = load(args)?;
+    let system =
+        AimqSystem::train(&relation, &train_config(args)?).map_err(|e| e.to_string())?;
+
+    if let Ok(model_path) = args.required("save") {
+        system
+            .save(&model_path)
+            .map_err(|e| format!("cannot save model to {model_path}: {e}"))?;
+        println!("saved trained model to {model_path}");
+    }
+
+    println!("relation: {} ({} tuples)\n", schema, relation.len());
+
+    let mined = system.mined();
+    println!("minimal AFDs (g3 ≤ {}):", args.f64_or("terr", 0.15)?);
+    let mut afds = mined.minimal_afds();
+    afds.sort_by(|a, b| a.error.total_cmp(&b.error));
+    for afd in &afds {
+        println!(
+            "  {} → {}   support {:.3}",
+            afd.lhs.display_with(&schema),
+            schema.attr_name(afd.rhs),
+            afd.support()
+        );
+    }
+    if afds.is_empty() {
+        println!("  (none — try a looser --terr)");
+    }
+
+    println!("\napproximate keys:");
+    let mut keys = mined.keys().to_vec();
+    keys.sort_by(|a, b| b.quality().total_cmp(&a.quality()));
+    for key in keys.iter().take(10) {
+        println!(
+            "  {}   quality {:.3}",
+            key.attrs.display_with(&schema),
+            key.quality()
+        );
+    }
+    if keys.is_empty() {
+        println!("  (none — try a looser --terr)");
+    }
+
+    println!("\nattribute relaxation order (least important first):");
+    let ordering = system.ordering();
+    for &attr in ordering.relaxation_order() {
+        println!(
+            "  {:2}. {:20} Wimp {:.4}",
+            ordering.relax_position(attr),
+            schema.attr_name(attr),
+            ordering.importance(attr)
+        );
+    }
+    Ok(())
+}
+
+fn query(args: &Args) -> Result<(), String> {
+    let (schema, relation) = load(args)?;
+    let query_text = args.required("query")?;
+    let query = query_lang::parse_query(&schema, &query_text)?;
+
+    let sample_size = args.usize_or("sample", (relation.len() / 4).max(500))?;
+    let seed = args.u64_or("seed", 1)?;
+    let db = InMemoryWebDb::new(relation);
+    let system = match args.required("model") {
+        Ok(model_path) => AimqSystem::load(&model_path)
+            .map_err(|e| format!("cannot load model from {model_path}: {e}"))?,
+        Err(_) => {
+            let sample = db.relation().random_sample(sample_size, seed);
+            AimqSystem::train(&sample, &train_config(args)?).map_err(|e| e.to_string())?
+        }
+    };
+
+    let config = EngineConfig {
+        t_sim: args.f64_or("tsim", 0.5)?,
+        top_k: args.usize_or("k", 10)?,
+        ..EngineConfig::default()
+    };
+    let result = system.answer(&db, &query, &config);
+
+    println!("query: {}", query.display_with(&schema));
+    println!(
+        "base query: {} ({} base tuples; {} tuples examined)\n",
+        result.base_query.display_with(&schema),
+        result.base_set_size,
+        result.stats.tuples_examined
+    );
+    if result.answers.is_empty() {
+        println!("no answers above Tsim {}", config.t_sim);
+    }
+    for (i, answer) in result.answers.iter().enumerate() {
+        println!(
+            "{:2}. sim={:.3}  {}",
+            i + 1,
+            answer.similarity,
+            answer.tuple.display_with(&schema)
+        );
+    }
+    Ok(())
+}
+
+fn demo(args: &Args) -> Result<(), String> {
+    let size = args.usize_or("size", 20_000)?;
+    let seed = args.u64_or("seed", 42)?;
+    println!("generating CarDB with {size} tuples (seed {seed})...");
+    let db = InMemoryWebDb::new(CarDb::generate(size, seed));
+    let schema = db.relation().schema().clone();
+    let sample = db.relation().random_sample(size / 4, 1);
+    let system = AimqSystem::train(&sample, &train_config(args)?).map_err(|e| e.to_string())?;
+
+    let query = query_lang::parse_query(&schema, "Model like Camry, Price like 10000")?;
+    let result = system.answer(
+        &db,
+        &query,
+        &EngineConfig {
+            t_sim: 0.5,
+            top_k: 10,
+            ..EngineConfig::default()
+        },
+    );
+    println!("\n{} →", query.display_with(&schema));
+    for (i, answer) in result.answers.iter().enumerate() {
+        println!(
+            "{:2}. sim={:.3}  {}",
+            i + 1,
+            answer.similarity,
+            answer.tuple.display_with(&schema)
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    fn write_mini_csv() -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "aimq_cli_test_{}.csv",
+            std::process::id()
+        ));
+        std::fs::write(
+            &path,
+            "Make,Model,Price\n\
+             Toyota,Camry,9500\nToyota,Camry,10100\nToyota,Corolla,7800\n\
+             Honda,Accord,9700\nHonda,Accord,10400\nHonda,Civic,7200\n\
+             Ford,Focus,8100\nFord,F150,24000\n",
+        )
+        .unwrap();
+        path
+    }
+
+    #[test]
+    fn help_and_no_args_succeed() {
+        assert!(run(&[]).is_ok());
+        assert!(run(&argv(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let err = run(&argv(&["frobnicate"])).unwrap_err();
+        assert!(err.contains("frobnicate"));
+    }
+
+    #[test]
+    fn mine_describe_and_query_run_end_to_end() {
+        let path = write_mini_csv();
+        let csv = path.to_str().unwrap();
+        let schema = "Make:cat,Model:cat,Price:num";
+        assert_eq!(
+            run(&argv(&["describe", "--csv", csv, "--schema", schema])),
+            Ok(())
+        );
+        assert_eq!(
+            run(&argv(&["mine", "--csv", csv, "--schema", schema, "--terr", "0.3"])),
+            Ok(())
+        );
+        assert_eq!(
+            run(&argv(&[
+                "query", "--csv", csv, "--schema", schema,
+                "--query", "Model like Camry, Price like 10000",
+                "--tsim", "0.2", "--sample", "8",
+            ])),
+            Ok(())
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn saved_model_round_trips_through_query() {
+        let path = write_mini_csv();
+        let csv = path.to_str().unwrap();
+        let schema = "Make:cat,Model:cat,Price:num";
+        let model_path = std::env::temp_dir().join(format!(
+            "aimq_cli_model_{}.bin",
+            std::process::id()
+        ));
+        let model = model_path.to_str().unwrap();
+        assert_eq!(
+            run(&argv(&[
+                "mine", "--csv", csv, "--schema", schema,
+                "--terr", "0.3", "--save", model,
+            ])),
+            Ok(())
+        );
+        assert_eq!(
+            run(&argv(&[
+                "query", "--csv", csv, "--schema", schema,
+                "--query", "Model like Camry", "--tsim", "0.2",
+                "--model", model,
+            ])),
+            Ok(())
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&model_path).ok();
+    }
+
+    #[test]
+    fn missing_flags_are_reported() {
+        let err = run(&argv(&["query", "--csv", "x.csv"])).unwrap_err();
+        assert!(err.contains("--schema"));
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let err = run(&argv(&[
+            "mine",
+            "--csv",
+            "/definitely/not/here.csv",
+            "--schema",
+            "A:cat",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("cannot open"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Parser for the CLI's imprecise-query language — the paper's own
+//! notation: `Model like Camry, Price like 10000`.
+
+use aimq_catalog::{Domain, ImpreciseQuery, Schema, Value};
+
+/// Parse `Attr like Value, Attr like Value, ...` against a schema.
+///
+/// Values for numeric attributes must parse as numbers; values containing
+/// commas can be double-quoted (`Model like "Econoline Van"` works
+/// unquoted too — only commas and leading/trailing spaces need quotes).
+pub fn parse_query(schema: &Schema, text: &str) -> Result<ImpreciseQuery, String> {
+    let mut builder = ImpreciseQuery::builder(schema);
+    for clause in split_clauses(text) {
+        let clause = clause.trim();
+        if clause.is_empty() {
+            continue;
+        }
+        let Some(pos) = clause.find(" like ") else {
+            return Err(format!("`{clause}` is not `Attr like Value`"));
+        };
+        let attr_name = clause[..pos].trim();
+        let raw_value = unquote(clause[pos + " like ".len()..].trim());
+        if raw_value.is_empty() {
+            return Err(format!("`{clause}` binds an empty value"));
+        }
+
+        let attr = schema
+            .attr_id(attr_name)
+            .map_err(|_| format!("unknown attribute `{attr_name}`"))?;
+        let value = match schema.domain(attr) {
+            Domain::Categorical => Value::cat(raw_value),
+            Domain::Numeric => raw_value
+                .parse::<f64>()
+                .map(Value::Num)
+                .map_err(|_| format!("`{attr_name}` is numeric but got `{raw_value}`"))?,
+        };
+        builder = builder.like(attr_name, value).map_err(|e| e.to_string())?;
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+/// Split on commas that are outside double quotes.
+fn split_clauses(text: &str) -> Vec<String> {
+    let mut clauses = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    for c in text.chars() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                current.push(c);
+            }
+            ',' if !in_quotes => clauses.push(std::mem::take(&mut current)),
+            other => current.push(other),
+        }
+    }
+    clauses.push(current);
+    clauses
+}
+
+/// Strip one pair of surrounding double quotes, if present.
+fn unquote(s: &str) -> String {
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        s[1..s.len() - 1].to_owned()
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimq_catalog::AttrId;
+
+    fn schema() -> Schema {
+        Schema::builder("CarDB")
+            .categorical("Make")
+            .categorical("Model")
+            .numeric("Price")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parses_the_paper_query() {
+        let q = parse_query(&schema(), "Model like Camry, Price like 10000").unwrap();
+        assert_eq!(q.bindings().len(), 2);
+        assert_eq!(q.value_for(AttrId(1)), Some(&Value::cat("Camry")));
+        assert_eq!(q.value_for(AttrId(2)), Some(&Value::num(10000.0)));
+    }
+
+    #[test]
+    fn quoted_values_may_contain_commas() {
+        let q = parse_query(&schema(), r#"Model like "Econoline, Van""#).unwrap();
+        assert_eq!(q.value_for(AttrId(1)), Some(&Value::cat("Econoline, Van")));
+    }
+
+    #[test]
+    fn multiword_values_work_unquoted() {
+        let q = parse_query(&schema(), "Model like Econoline Van").unwrap();
+        assert_eq!(q.value_for(AttrId(1)), Some(&Value::cat("Econoline Van")));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let s = schema();
+        assert!(parse_query(&s, "").is_err());
+        assert!(parse_query(&s, "Model = Camry").is_err());
+        assert!(parse_query(&s, "Engine like V6").is_err());
+        assert!(parse_query(&s, "Price like cheap").is_err());
+        assert!(parse_query(&s, "Model like ").is_err());
+    }
+
+    #[test]
+    fn trailing_commas_are_tolerated() {
+        let q = parse_query(&schema(), "Make like Ford,").unwrap();
+        assert_eq!(q.bindings().len(), 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Parser for the CLI's `--schema` specification:
+//! `Name:cat,Name:num,...` — one `name:domain` pair per attribute, in
+//! relation order.
+
+use aimq_catalog::Schema;
+
+/// Parse `Make:cat,Model:cat,Price:num` into a [`Schema`].
+pub fn parse_schema(name: &str, spec: &str) -> Result<Schema, String> {
+    if spec.trim().is_empty() {
+        return Err("schema spec is empty".into());
+    }
+    let mut builder = Schema::builder(name);
+    for part in spec.split(',') {
+        let part = part.trim();
+        let (attr, domain) = part
+            .rsplit_once(':')
+            .ok_or_else(|| format!("`{part}` is not `name:cat` or `name:num`"))?;
+        let attr = attr.trim();
+        if attr.is_empty() {
+            return Err(format!("`{part}` has an empty attribute name"));
+        }
+        builder = match domain.trim() {
+            "cat" | "categorical" => builder.categorical(attr),
+            "num" | "numeric" => builder.numeric(attr),
+            other => return Err(format!("unknown domain `{other}` (use cat|num)")),
+        };
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimq_catalog::Domain;
+
+    #[test]
+    fn parses_mixed_schema() {
+        let s = parse_schema("CarDB", "Make:cat, Model:cat ,Price:num").unwrap();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.attr_name(aimq_catalog::AttrId(1)), "Model");
+        assert_eq!(s.domain(aimq_catalog::AttrId(2)), Domain::Numeric);
+    }
+
+    #[test]
+    fn long_domain_names_accepted() {
+        let s = parse_schema("R", "A:categorical,B:numeric").unwrap();
+        assert_eq!(s.domain(aimq_catalog::AttrId(0)), Domain::Categorical);
+        assert_eq!(s.domain(aimq_catalog::AttrId(1)), Domain::Numeric);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(parse_schema("R", "").is_err());
+        assert!(parse_schema("R", "Make").is_err());
+        assert!(parse_schema("R", "Make:str").is_err());
+        assert!(parse_schema("R", ":cat").is_err());
+        assert!(parse_schema("R", "A:cat,A:num").is_err()); // duplicate name
+    }
+
+    #[test]
+    fn colon_in_name_uses_last_separator() {
+        let s = parse_schema("R", "Hours:per:week:num").unwrap();
+        assert_eq!(s.attr_name(aimq_catalog::AttrId(0)), "Hours:per:week");
+    }
+}

@@ -1,0 +1,148 @@
+use aimq_catalog::{ImpreciseQuery, SelectionQuery, Tuple};
+use aimq_sim::SimilarityModel;
+use aimq_storage::WebDatabase;
+
+use crate::bind::precise_query_for;
+use crate::RelaxationStrategy;
+
+/// Map an imprecise query to its base query `Qpr` and fetch the base set
+/// `Abs` (Algorithm 1, step 1).
+///
+/// `Qpr` tightens every `like` into `=` (categorical) or the containing
+/// bucket band (numeric; see `precise_query_for`). If its answer set is empty,
+/// the paper's footnote 2 applies: "We assume a non-null resultset for Qpr
+/// or one of its *generalizations*. The attribute ordering heuristic … is
+/// useful in relaxing Qpr also." — so we relax `Qpr` step by step using
+/// the same strategy that will drive tuple relaxation, returning the first
+/// generalization with answers.
+///
+/// Returns `(query_used, base_set)`; the base set is empty only when even
+/// the loosest permitted generalization matches nothing.
+pub fn derive_base_set(
+    db: &dyn WebDatabase,
+    query: &ImpreciseQuery,
+    model: &SimilarityModel,
+    strategy: &mut dyn RelaxationStrategy,
+    max_level: usize,
+) -> (SelectionQuery, Vec<Tuple>) {
+    let base = precise_query_for(model, query.bindings());
+    let answers = db.query(&base);
+    if !answers.is_empty() {
+        return (base, answers);
+    }
+
+    let bound = base.bound_attrs();
+    for step in strategy.steps(&bound, max_level) {
+        let relaxed = base.relax(&step);
+        if relaxed.is_empty() {
+            continue;
+        }
+        let answers = db.query(&relaxed);
+        if !answers.is_empty() {
+            return (relaxed, answers);
+        }
+    }
+    (base, Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RandomRelax;
+    use aimq_afd::{AttributeOrdering, BucketConfig};
+    use aimq_catalog::{AttrId, BucketSpec, Schema, Value};
+    use aimq_sim::SimConfig;
+    use aimq_storage::{InMemoryWebDb, Relation};
+
+    fn model(db: &InMemoryWebDb) -> SimilarityModel {
+        let schema = db.relation().schema().clone();
+        let ordering = AttributeOrdering::uniform(&schema).unwrap();
+        // Narrow price buckets so the banded base query behaves almost
+        // like equality in these tests.
+        let bucket = BucketConfig::for_schema(&schema)
+            .with_spec(AttrId(2), BucketSpec::width(100.0));
+        SimilarityModel::build(db.relation(), &ordering, &SimConfig { bucket })
+    }
+
+    fn db() -> InMemoryWebDb {
+        let schema = schema();
+        let rows = [
+            ("Toyota", "Camry", 10000.0),
+            ("Toyota", "Camry", 12000.0),
+            ("Honda", "Accord", 9000.0),
+        ];
+        let tuples: Vec<Tuple> = rows
+            .iter()
+            .map(|&(mk, md, p)| {
+                Tuple::new(
+                    &schema,
+                    vec![Value::cat(mk), Value::cat(md), Value::num(p)],
+                )
+                .unwrap()
+            })
+            .collect();
+        InMemoryWebDb::new(Relation::from_tuples(schema, &tuples).unwrap())
+    }
+
+    fn schema() -> Schema {
+        Schema::builder("CarDB")
+            .categorical("Make")
+            .categorical("Model")
+            .numeric("Price")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn exact_base_query_when_nonempty() {
+        let db = db();
+        let q = ImpreciseQuery::builder(&schema())
+            .like("Model", Value::cat("Camry"))
+            .unwrap()
+            .like("Price", Value::num(10000.0))
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut strategy = RandomRelax::new(1);
+        let m = model(&db);
+        let (used, base_set) = derive_base_set(&db, &q, &m, &mut strategy, 2);
+        assert_eq!(base_set.len(), 1);
+        assert_eq!(used.bound_attrs().len(), 2); // no generalization needed
+    }
+
+    #[test]
+    fn generalizes_when_base_query_is_empty() {
+        let db = db();
+        // No Camry near 9500 (width-100 buckets) → must generalize.
+        let q = ImpreciseQuery::builder(&schema())
+            .like("Model", Value::cat("Camry"))
+            .unwrap()
+            .like("Price", Value::num(9550.0))
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut strategy = RandomRelax::new(1);
+        let m = model(&db);
+        let (used, base_set) = derive_base_set(&db, &q, &m, &mut strategy, 2);
+        assert!(!base_set.is_empty(), "generalization must find answers");
+        assert!(used.bound_attrs().len() < 2);
+        // Whatever was kept, the answers satisfy it.
+        assert!(base_set.iter().all(|t| used.matches(t)));
+    }
+
+    #[test]
+    fn unsatisfiable_query_returns_empty() {
+        let db = db();
+        let q = ImpreciseQuery::builder(&schema())
+            .like("Model", Value::cat("DeLorean"))
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut strategy = RandomRelax::new(1);
+        let m = model(&db);
+        let (_, base_set) = derive_base_set(&db, &q, &m, &mut strategy, 2);
+        // Single binding: relaxing it fully is not permitted, so no
+        // generalization exists.
+        assert!(base_set.is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+use aimq_catalog::{AttrId, Predicate, PredicateOp, SelectionQuery, Tuple, Value};
+use aimq_sim::SimilarityModel;
+
+/// Build the precise selection predicate(s) binding one attribute.
+///
+/// * categorical → `attr = v`;
+/// * numeric → the **bucket band** containing `v`
+///   (`attr >= lo AND attr < hi`), using the same bucketing the mining
+///   pipeline applied. Exact numeric equality would almost never match on
+///   continuous attributes like `Price`; real Web forms expose ranges, and
+///   the paper's own mining views numerics as buckets (`Price 1k-5k`,
+///   Table 1), so the band is the faithful executable reading of
+///   "Price = 10000". Attributes without a spec (untrained) fall back to
+///   exact equality.
+fn bind_attr(model: &SimilarityModel, attr: AttrId, value: &Value, out: &mut Vec<Predicate>) {
+    match value {
+        Value::Num(v) => {
+            if let Some(spec) = model.bucket_spec(attr) {
+                let (lo, hi) = spec.range_of(spec.bucket_of(*v));
+                out.push(Predicate {
+                    attr,
+                    op: PredicateOp::Ge,
+                    value: Value::num(lo),
+                });
+                out.push(Predicate {
+                    attr,
+                    op: PredicateOp::Lt,
+                    value: Value::num(hi),
+                });
+            } else {
+                out.push(Predicate::eq(attr, value.clone()));
+            }
+        }
+        Value::Cat(_) => out.push(Predicate::eq(attr, value.clone())),
+        Value::Null => {}
+    }
+}
+
+/// Precise query for a set of `(attribute, value)` bindings (the base
+/// query `Qpr` of Algorithm 1, with numeric bands).
+pub fn precise_query_for(
+    model: &SimilarityModel,
+    bindings: &[(AttrId, Value)],
+) -> SelectionQuery {
+    let mut predicates = Vec::with_capacity(bindings.len());
+    for (attr, value) in bindings {
+        bind_attr(model, *attr, value, &mut predicates);
+    }
+    SelectionQuery::new(predicates)
+}
+
+/// A base-set tuple viewed as a fully bound selection query over `bound`
+/// (Algorithm 1, step 3), with numeric bucket bands.
+pub fn tuple_query_for(
+    model: &SimilarityModel,
+    tuple: &Tuple,
+    bound: &[AttrId],
+) -> SelectionQuery {
+    let mut predicates = Vec::with_capacity(bound.len());
+    for &attr in bound {
+        bind_attr(model, attr, tuple.value(attr), &mut predicates);
+    }
+    SelectionQuery::new(predicates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimq_afd::{AttributeOrdering, BucketConfig};
+    use aimq_catalog::{BucketSpec, Schema};
+    use aimq_sim::SimConfig;
+    use aimq_storage::Relation;
+
+    fn model() -> SimilarityModel {
+        let schema = Schema::builder("R")
+            .categorical("Make")
+            .numeric("Price")
+            .build()
+            .unwrap();
+        let tuples: Vec<Tuple> = [("Toyota", 9000.0), ("Honda", 14000.0)]
+            .iter()
+            .map(|&(m, p)| {
+                Tuple::new(&schema, vec![Value::cat(m), Value::num(p)]).unwrap()
+            })
+            .collect();
+        let rel = Relation::from_tuples(schema.clone(), &tuples).unwrap();
+        let ordering = AttributeOrdering::uniform(&schema).unwrap();
+        let bucket =
+            BucketConfig::for_schema(&schema).with_spec(AttrId(1), BucketSpec::width(5000.0));
+        SimilarityModel::build(&rel, &ordering, &SimConfig { bucket })
+    }
+
+    #[test]
+    fn categorical_bindings_stay_equality() {
+        let m = model();
+        let q = precise_query_for(&m, &[(AttrId(0), Value::cat("Toyota"))]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.predicates()[0].op, PredicateOp::Eq);
+    }
+
+    #[test]
+    fn numeric_bindings_become_bucket_bands() {
+        let m = model();
+        let q = precise_query_for(&m, &[(AttrId(1), Value::num(9000.0))]);
+        assert_eq!(q.len(), 2);
+        // 9000 with width-5000 buckets → [5000, 10000).
+        let schema = m.schema().clone();
+        let in_band =
+            Tuple::new(&schema, vec![Value::cat("X"), Value::num(9999.0)]).unwrap();
+        let below =
+            Tuple::new(&schema, vec![Value::cat("X"), Value::num(4999.0)]).unwrap();
+        let above =
+            Tuple::new(&schema, vec![Value::cat("X"), Value::num(10000.0)]).unwrap();
+        assert!(q.matches(&in_band));
+        assert!(!q.matches(&below));
+        assert!(!q.matches(&above));
+    }
+
+    #[test]
+    fn tuple_query_matches_its_own_tuple() {
+        let m = model();
+        let schema = m.schema().clone();
+        let t = Tuple::new(&schema, vec![Value::cat("Toyota"), Value::num(9000.0)]).unwrap();
+        let q = tuple_query_for(&m, &t, &t.bound_attrs());
+        assert!(q.matches(&t));
+    }
+
+    #[test]
+    fn relaxing_a_banded_attr_drops_both_band_predicates() {
+        let m = model();
+        let schema = m.schema().clone();
+        let t = Tuple::new(&schema, vec![Value::cat("Toyota"), Value::num(9000.0)]).unwrap();
+        let q = tuple_query_for(&m, &t, &t.bound_attrs());
+        let relaxed = q.relax(&[AttrId(1)]);
+        assert_eq!(relaxed.bound_attrs(), vec![AttrId(0)]);
+    }
+
+    #[test]
+    fn nulls_bind_nothing() {
+        let m = model();
+        let schema = m.schema().clone();
+        let t = Tuple::new(&schema, vec![Value::Null, Value::num(9000.0)]).unwrap();
+        let q = tuple_query_for(&m, &t, &[AttrId(0), AttrId(1)]);
+        assert_eq!(q.bound_attrs(), vec![AttrId(1)]);
+    }
+}

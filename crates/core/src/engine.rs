@@ -1,0 +1,246 @@
+use std::collections::HashSet;
+
+use aimq_catalog::{AttrId, ImpreciseQuery, SelectionQuery, Tuple};
+use aimq_sim::SimilarityModel;
+use aimq_storage::WebDatabase;
+
+use crate::base_query::derive_base_set;
+use crate::bind::tuple_query_for;
+use crate::RelaxationStrategy;
+
+/// Tuning knobs of Algorithm 1. The paper leaves `Tsim` and `k` "tuned by
+/// the system designers" (footnote 4); defaults follow the evaluation
+/// section (Tsim sweeps 0.5–0.9, top-10 answers shown to users).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Similarity threshold `Tsim`: a relaxation result joins the extended
+    /// set only if its similarity to its base tuple exceeds this.
+    pub t_sim: f64,
+    /// Number of ranked answers returned (`Top-k`).
+    pub top_k: usize,
+    /// Maximum number of attributes relaxed simultaneously.
+    pub max_relax_level: usize,
+    /// Cap on how many base-set tuples are expanded (each expansion issues
+    /// a full relaxation-query sequence).
+    pub max_base_tuples: usize,
+    /// Optional early stop: end the whole search once this many relevant
+    /// tuples (beyond the base set) are in the extended set. Figure 6/7's
+    /// protocol stops at 20.
+    pub target_relevant: Option<usize>,
+    /// Cap on relaxation queries issued per base tuple. Wide schemas
+    /// (CensusDB has 13 attributes) make the multi-attribute combination
+    /// space explode; the cap keeps the greedy prefix — which contains
+    /// the least-important relaxations — and drops the tail.
+    pub max_steps_per_tuple: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            t_sim: 0.6,
+            top_k: 10,
+            max_relax_level: 2,
+            max_base_tuples: 20,
+            target_relevant: None,
+            max_steps_per_tuple: 256,
+        }
+    }
+}
+
+/// The paper's efficiency bookkeeping (Section 6.3):
+/// `Work/RelevantTuple = |T_Extracted| / |T_Relevant|` — "a measure of
+/// the average number of tuples that an user would have to look at before
+/// finding a relevant tuple".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkStats {
+    /// Boolean queries issued against the source while answering.
+    pub queries_issued: u64,
+    /// Total tuples the source returned, duplicates included (raw access
+    /// meter).
+    pub tuples_extracted: u64,
+    /// Distinct tuples examined (the paper's `T_Extracted`: a user looks
+    /// at each retrieved tuple once, however many relaxation queries
+    /// return it).
+    pub tuples_examined: usize,
+    /// Distinct tuples whose similarity cleared `Tsim`, base set included
+    /// (the paper's `T_Relevant`).
+    pub relevant_found: usize,
+}
+
+impl WorkStats {
+    /// `Work/RelevantTuple`; `None` when nothing relevant was found.
+    pub fn work_per_relevant(&self) -> Option<f64> {
+        (self.relevant_found > 0)
+            .then(|| self.tuples_examined as f64 / self.relevant_found as f64)
+    }
+}
+
+/// How an answer entered the extended set — the explainability hook:
+/// "this Accord is here because the engine relaxed Make and Model of a
+/// base-set Camry".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Provenance {
+    /// The tuple satisfied the (possibly generalized) base query itself.
+    BaseSet,
+    /// The tuple came from outside the engine (e.g. a caller-supplied
+    /// pool re-ranked by the feedback tuner).
+    External,
+    /// The tuple was retrieved by relaxing `relaxed_attrs` of the
+    /// base-set tuple at index `base_index` (into the base set).
+    Relaxed {
+        /// Index of the originating tuple in the base set.
+        base_index: usize,
+        /// Attributes whose constraints were dropped.
+        relaxed_attrs: Vec<AttrId>,
+    },
+}
+
+/// One ranked answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedAnswer {
+    /// The answer tuple.
+    pub tuple: Tuple,
+    /// Its similarity to the *query* (the final ranking key).
+    pub similarity: f64,
+    /// How the engine found this tuple.
+    pub provenance: Provenance,
+}
+
+/// The result of answering one imprecise query.
+#[derive(Debug, Clone)]
+pub struct AnswerSet {
+    /// Top-k answers, descending similarity.
+    pub answers: Vec<RankedAnswer>,
+    /// Access-metering statistics for this query.
+    pub stats: WorkStats,
+    /// The (possibly generalized) precise query whose answers formed the
+    /// base set.
+    pub base_query: SelectionQuery,
+    /// Size of the base set `|Abs|`.
+    pub base_set_size: usize,
+}
+
+/// Algorithm 1 ("Finding Relevant Answers") of the paper.
+///
+/// `model` supplies both `Sim` functions (tuple–tuple for the `Tsim`
+/// filter, query–tuple for the final ranking); `strategy` decides the
+/// relaxation order (Guided vs Random).
+pub fn answer_imprecise_query(
+    db: &dyn WebDatabase,
+    query: &ImpreciseQuery,
+    model: &SimilarityModel,
+    strategy: &mut dyn RelaxationStrategy,
+    config: &EngineConfig,
+) -> AnswerSet {
+    let stats_before = db.stats();
+
+    // Step 1: base query and base set.
+    let (base_query, base_set) =
+        derive_base_set(db, query, model, strategy, config.max_relax_level);
+
+    // Extended set, deduplicated across overlapping relaxation queries.
+    // Base-set tuples are answers (and relevant) by construction;
+    // `examined` additionally remembers rejected candidates so a tuple
+    // retrieved by several relaxation queries is looked at once.
+    let mut examined: HashSet<Tuple> = HashSet::new();
+    let mut extended: Vec<(Tuple, Provenance)> = Vec::new();
+    for t in &base_set {
+        if examined.insert(t.clone()) {
+            extended.push((t.clone(), Provenance::BaseSet));
+        }
+    }
+
+    // Steps 2-8: relax each base tuple, filter by Sim(t, t') > Tsim.
+    'outer: for (base_index, t) in base_set.iter().take(config.max_base_tuples).enumerate() {
+        let bound = t.bound_attrs();
+        let tuple_query = tuple_query_for(model, t, &bound);
+        let mut steps = strategy.steps(&bound, config.max_relax_level);
+        steps.truncate(config.max_steps_per_tuple);
+        for step in steps {
+            let relaxed = tuple_query.relax(&step);
+            if relaxed.is_empty() {
+                continue;
+            }
+            for candidate in db.query(&relaxed) {
+                if !examined.insert(candidate.clone()) {
+                    continue;
+                }
+                let sim = model.tuple_similarity(t, &candidate, &bound);
+                if sim > config.t_sim {
+                    extended.push((
+                        candidate,
+                        Provenance::Relaxed {
+                            base_index,
+                            relaxed_attrs: step.clone(),
+                        },
+                    ));
+                    if config
+                        .target_relevant
+                        .is_some_and(|target| extended.len() >= target)
+                    {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+
+    // Step 9: rank the extended set by similarity to the query; top-k.
+    let relevant_found = extended.len();
+    let mut answers: Vec<RankedAnswer> = extended
+        .into_iter()
+        .map(|(tuple, provenance)| {
+            let similarity = model.query_similarity(query, &tuple);
+            RankedAnswer {
+                tuple,
+                similarity,
+                provenance,
+            }
+        })
+        .collect();
+    answers.sort_by(|a, b| {
+        b.similarity
+            .total_cmp(&a.similarity)
+            .then_with(|| a.tuple.values().cmp(b.tuple.values()))
+    });
+    answers.truncate(config.top_k);
+
+    let stats_after = db.stats();
+    AnswerSet {
+        answers,
+        stats: WorkStats {
+            queries_issued: stats_after.queries_issued - stats_before.queries_issued,
+            tuples_extracted: stats_after.tuples_returned - stats_before.tuples_returned,
+            tuples_examined: examined.len(),
+            relevant_found,
+        },
+        base_query,
+        base_set_size: base_set.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_per_relevant_handles_zero() {
+        let s = WorkStats::default();
+        assert_eq!(s.work_per_relevant(), None);
+        let s = WorkStats {
+            queries_issued: 3,
+            tuples_extracted: 55,
+            tuples_examined: 40,
+            relevant_found: 10,
+        };
+        assert_eq!(s.work_per_relevant(), Some(4.0));
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = EngineConfig::default();
+        assert!(c.t_sim > 0.0 && c.t_sim < 1.0);
+        assert!(c.top_k >= 1);
+        assert!(c.max_relax_level >= 1);
+    }
+}

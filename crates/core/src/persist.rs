@@ -1,0 +1,470 @@
+//! Binary persistence for trained [`AimqSystem`]s.
+//!
+//! Training mines TANE dependencies and a full value-similarity model —
+//! cheap enough to redo on a laptop, but wasteful to repeat for every
+//! query session over the same source (the paper's deployment mines
+//! *offline* and answers *online*). [`AimqSystem::to_bytes`] /
+//! [`AimqSystem::from_bytes`] serialize everything the online phase
+//! needs: schema, mined AFDs/keys, the Algorithm-2 ordering and the
+//! similarity matrices with their bucket specs.
+//!
+//! The format is a versioned little-endian binary layout built with the
+//! `bytes` crate (length-prefixed strings and vectors; a magic header
+//! guards against feeding arbitrary files in). It is *not* a long-term
+//! interchange format — readers reject any version they don't know.
+
+use std::fmt;
+
+use aimq_afd::{AKey, Afd, AttrSet, AttributeOrdering, MinedDependencies};
+use aimq_catalog::{AttrId, BucketSpec, Domain, Schema};
+use aimq_sim::{SimilarityModel, ValueSimMatrix};
+use aimq_storage::Dictionary;
+use bytes::{Buf, BufMut};
+
+use crate::system::AimqSystem;
+
+const MAGIC: &[u8; 4] = b"AIMQ";
+const VERSION: u32 = 1;
+
+/// Errors raised while decoding a persisted model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The input does not start with the `AIMQ` magic.
+    BadMagic,
+    /// The input's format version is not supported by this build.
+    UnsupportedVersion(u32),
+    /// The input ended before the structure was complete.
+    Truncated,
+    /// A decoded string was not valid UTF-8.
+    BadString,
+    /// Decoded parts failed structural validation (corrupted input).
+    Corrupted(&'static str),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::BadMagic => write!(f, "not an AIMQ model file"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(f, "unsupported model format version {v}")
+            }
+            PersistError::Truncated => write!(f, "model file is truncated"),
+            PersistError::BadString => write!(f, "model file holds invalid UTF-8"),
+            PersistError::Corrupted(what) => write!(f, "model file is corrupted: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+// ---------------------------------------------------------------- encode
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.put_u32_le(s.len() as u32);
+    out.put_slice(s.as_bytes());
+}
+
+fn put_f64s(out: &mut Vec<u8>, xs: &[f64]) {
+    out.put_u32_le(xs.len() as u32);
+    for &x in xs {
+        out.put_f64_le(x);
+    }
+}
+
+fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
+    put_string(out, schema.name());
+    out.put_u16_le(schema.arity() as u16);
+    for attr in schema.attributes() {
+        put_string(out, attr.name());
+        out.put_u8(match attr.domain() {
+            Domain::Categorical => 0,
+            Domain::Numeric => 1,
+        });
+    }
+}
+
+fn put_ordering(out: &mut Vec<u8>, ordering: &AttributeOrdering) {
+    let n = ordering.schema().arity();
+    out.put_u16_le(n as u16);
+    for &attr in ordering.relaxation_order() {
+        out.put_u16_le(attr.index() as u16);
+    }
+    let attrs: Vec<AttrId> = ordering.schema().attr_ids().collect();
+    put_f64s(out, &attrs.iter().map(|&a| ordering.importance(a)).collect::<Vec<_>>());
+    out.put_u64_le(ordering.deciding().bits());
+    out.put_u64_le(ordering.dependent().bits());
+    put_f64s(out, &attrs.iter().map(|&a| ordering.wt_decides(a)).collect::<Vec<_>>());
+    put_f64s(out, &attrs.iter().map(|&a| ordering.wt_depends(a)).collect::<Vec<_>>());
+}
+
+fn put_mined(out: &mut Vec<u8>, mined: &MinedDependencies) {
+    out.put_u16_le(mined.n_attrs() as u16);
+    out.put_u32_le(mined.afds().len() as u32);
+    for afd in mined.afds() {
+        out.put_u64_le(afd.lhs.bits());
+        out.put_u16_le(afd.rhs.index() as u16);
+        out.put_f64_le(afd.error);
+    }
+    out.put_u32_le(mined.keys().len() as u32);
+    for key in mined.keys() {
+        out.put_u64_le(key.attrs.bits());
+        out.put_f64_le(key.error);
+    }
+}
+
+fn put_model(out: &mut Vec<u8>, model: &SimilarityModel) {
+    let schema = model.schema();
+    for attr in schema.attr_ids() {
+        match model.matrix(attr) {
+            None => out.put_u8(0),
+            Some(matrix) => {
+                out.put_u8(1);
+                let values = matrix.values();
+                out.put_u32_le(values.len() as u32);
+                for v in values {
+                    put_string(out, v);
+                }
+                put_f64s(out, matrix.raw_sims());
+            }
+        }
+        match model.bucket_spec(attr) {
+            None => out.put_u8(0),
+            Some(spec) => {
+                out.put_u8(1);
+                out.put_f64_le(spec.origin);
+                out.put_f64_le(spec.width);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- decode
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn need(&self, n: usize) -> Result<(), PersistError> {
+        if self.buf.remaining() < n {
+            Err(PersistError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    fn u16(&mut self) -> Result<u16, PersistError> {
+        self.need(2)?;
+        Ok(self.buf.get_u16_le())
+    }
+
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    fn u64(&mut self) -> Result<u64, PersistError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    fn f64(&mut self) -> Result<f64, PersistError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    fn string(&mut self) -> Result<String, PersistError> {
+        let len = self.u32()? as usize;
+        self.need(len)?;
+        let mut bytes = vec![0u8; len];
+        self.buf.copy_to_slice(&mut bytes);
+        String::from_utf8(bytes).map_err(|_| PersistError::BadString)
+    }
+
+    fn f64s(&mut self) -> Result<Vec<f64>, PersistError> {
+        let len = self.u32()? as usize;
+        self.need(len.checked_mul(8).ok_or(PersistError::Truncated)?)?;
+        (0..len).map(|_| self.f64()).collect()
+    }
+}
+
+fn get_schema(r: &mut Reader) -> Result<Schema, PersistError> {
+    let name = r.string()?;
+    let arity = r.u16()? as usize;
+    let mut builder = Schema::builder(name);
+    for _ in 0..arity {
+        let attr_name = r.string()?;
+        builder = match r.u8()? {
+            0 => builder.categorical(attr_name),
+            1 => builder.numeric(attr_name),
+            _ => return Err(PersistError::Corrupted("unknown attribute domain tag")),
+        };
+    }
+    builder
+        .build()
+        .map_err(|_| PersistError::Corrupted("invalid schema"))
+}
+
+fn get_ordering(r: &mut Reader, schema: &Schema) -> Result<AttributeOrdering, PersistError> {
+    let n = r.u16()? as usize;
+    if n != schema.arity() {
+        return Err(PersistError::Corrupted("ordering arity mismatch"));
+    }
+    let relax_order: Vec<AttrId> = (0..n)
+        .map(|_| r.u16().map(|i| AttrId(i as usize)))
+        .collect::<Result<_, _>>()?;
+    let importance = r.f64s()?;
+    let deciding = AttrSet::from_bits(r.u64()?);
+    let dependent = AttrSet::from_bits(r.u64()?);
+    let wt_decides = r.f64s()?;
+    let wt_depends = r.f64s()?;
+    AttributeOrdering::from_raw_parts(
+        schema.clone(),
+        relax_order,
+        importance,
+        deciding,
+        dependent,
+        wt_decides,
+        wt_depends,
+    )
+    .map_err(|_| PersistError::Corrupted("invalid ordering"))
+}
+
+fn get_mined(r: &mut Reader) -> Result<MinedDependencies, PersistError> {
+    let n_attrs = r.u16()? as usize;
+    let n_afds = r.u32()? as usize;
+    let mut afds = Vec::with_capacity(n_afds.min(1 << 20));
+    for _ in 0..n_afds {
+        let lhs = AttrSet::from_bits(r.u64()?);
+        let rhs = AttrId(r.u16()? as usize);
+        let error = r.f64()?;
+        afds.push(Afd { lhs, rhs, error });
+    }
+    let n_keys = r.u32()? as usize;
+    let mut keys = Vec::with_capacity(n_keys.min(1 << 20));
+    for _ in 0..n_keys {
+        let attrs = AttrSet::from_bits(r.u64()?);
+        let error = r.f64()?;
+        keys.push(AKey { attrs, error });
+    }
+    Ok(MinedDependencies::from_parts(afds, keys, n_attrs))
+}
+
+fn get_model(
+    r: &mut Reader,
+    schema: &Schema,
+    ordering: AttributeOrdering,
+) -> Result<SimilarityModel, PersistError> {
+    let mut matrices = Vec::with_capacity(schema.arity());
+    let mut bucket_specs = Vec::with_capacity(schema.arity());
+    for _ in schema.attr_ids() {
+        matrices.push(match r.u8()? {
+            0 => None,
+            1 => {
+                let n_values = r.u32()? as usize;
+                let mut dict = Dictionary::new();
+                for _ in 0..n_values {
+                    let value = r.string()?;
+                    dict.intern(&value);
+                }
+                if dict.len() != n_values {
+                    return Err(PersistError::Corrupted("duplicate dictionary value"));
+                }
+                let sims = r.f64s()?;
+                Some(
+                    ValueSimMatrix::from_parts(dict, sims)
+                        .ok_or(PersistError::Corrupted("matrix shape mismatch"))?,
+                )
+            }
+            _ => return Err(PersistError::Corrupted("unknown matrix tag")),
+        });
+        bucket_specs.push(match r.u8()? {
+            0 => None,
+            1 => {
+                let origin = r.f64()?;
+                let width = r.f64()?;
+                if !(width > 0.0 && origin.is_finite()) {
+                    return Err(PersistError::Corrupted("invalid bucket spec"));
+                }
+                Some(BucketSpec::new(origin, width))
+            }
+            _ => return Err(PersistError::Corrupted("unknown bucket tag")),
+        });
+    }
+    SimilarityModel::from_parts(schema.clone(), ordering, matrices, bucket_specs)
+        .ok_or(PersistError::Corrupted("model shape mismatch"))
+}
+
+impl AimqSystem {
+    /// Serialize the trained system into a self-describing binary blob.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4096);
+        out.put_slice(MAGIC);
+        out.put_u32_le(VERSION);
+        put_schema(&mut out, self.model().schema());
+        put_mined(&mut out, self.mined());
+        put_ordering(&mut out, self.ordering());
+        put_model(&mut out, self.model());
+        out
+    }
+
+    /// Reconstruct a system previously serialized with
+    /// [`AimqSystem::to_bytes`]. Training timings are not preserved.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
+        let mut r = Reader { buf: bytes };
+        r.need(4)?;
+        let mut magic = [0u8; 4];
+        r.buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(PersistError::UnsupportedVersion(version));
+        }
+        let schema = get_schema(&mut r)?;
+        let mined = get_mined(&mut r)?;
+        let ordering = get_ordering(&mut r, &schema)?;
+        let model = get_model(&mut r, &schema, ordering.clone())?;
+        Ok(AimqSystem::from_parts(mined, ordering, model))
+    }
+
+    /// Save to a file (convenience wrapper over [`AimqSystem::to_bytes`]).
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Load from a file saved by [`AimqSystem::save`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EngineConfig, TrainConfig};
+    use aimq_catalog::{ImpreciseQuery, Value};
+    use aimq_data::CarDb;
+    use aimq_storage::InMemoryWebDb;
+
+    fn trained() -> (InMemoryWebDb, AimqSystem) {
+        let db = InMemoryWebDb::new(CarDb::generate(1500, 5));
+        let sample = db.relation().random_sample(600, 1);
+        let system = AimqSystem::train(&sample, &TrainConfig::default()).unwrap();
+        (db, system)
+    }
+
+    #[test]
+    fn round_trip_preserves_mined_structures() {
+        let (_, system) = trained();
+        let restored = AimqSystem::from_bytes(&system.to_bytes()).unwrap();
+
+        assert_eq!(system.mined().afds(), restored.mined().afds());
+        assert_eq!(system.mined().keys(), restored.mined().keys());
+        assert_eq!(
+            system.ordering().relaxation_order(),
+            restored.ordering().relaxation_order()
+        );
+        for attr in system.model().schema().attr_ids() {
+            assert_eq!(
+                system.ordering().importance(attr),
+                restored.ordering().importance(attr)
+            );
+            assert_eq!(
+                system.model().bucket_spec(attr),
+                restored.model().bucket_spec(attr)
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_similarities() {
+        let (_, system) = trained();
+        let restored = AimqSystem::from_bytes(&system.to_bytes()).unwrap();
+        let schema = system.model().schema().clone();
+        let model_attr = schema.attr_id("Model").unwrap();
+        let (orig, rest) = (
+            system.model().matrix(model_attr).unwrap(),
+            restored.model().matrix(model_attr).unwrap(),
+        );
+        assert_eq!(orig.values(), rest.values());
+        assert_eq!(orig.raw_sims(), rest.raw_sims());
+    }
+
+    #[test]
+    fn restored_system_answers_identically() {
+        let (db, system) = trained();
+        let restored = AimqSystem::from_bytes(&system.to_bytes()).unwrap();
+        let schema = db.relation().schema().clone();
+        let query = ImpreciseQuery::builder(&schema)
+            .like("Model", Value::cat("Camry"))
+            .unwrap()
+            .like("Price", Value::num(9000.0))
+            .unwrap()
+            .build()
+            .unwrap();
+        let config = EngineConfig {
+            t_sim: 0.3,
+            ..EngineConfig::default()
+        };
+        let a = system.answer(&db, &query, &config);
+        let b = restored.answer(&db, &query, &config);
+        assert_eq!(a.answers.len(), b.answers.len());
+        for (x, y) in a.answers.iter().zip(&b.answers) {
+            assert_eq!(x.tuple, y.tuple);
+            assert!((x.similarity - y.similarity).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_and_wrong_versions() {
+        assert_eq!(
+            AimqSystem::from_bytes(b"not a model").unwrap_err(),
+            PersistError::BadMagic
+        );
+        let mut bytes = MAGIC.to_vec();
+        bytes.put_u32_le(999);
+        assert_eq!(
+            AimqSystem::from_bytes(&bytes).unwrap_err(),
+            PersistError::UnsupportedVersion(999)
+        );
+        assert_eq!(
+            AimqSystem::from_bytes(b"AI").unwrap_err(),
+            PersistError::Truncated
+        );
+    }
+
+    #[test]
+    fn truncated_input_is_detected() {
+        let (_, system) = trained();
+        let bytes = system.to_bytes();
+        for cut in [0, 3, 8, 20, bytes.len() / 2, bytes.len() - 1] {
+            let err = AimqSystem::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    PersistError::Truncated | PersistError::BadMagic | PersistError::BadString
+                ),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn save_and_load_files() {
+        let (_, system) = trained();
+        let path = std::env::temp_dir().join(format!("aimq_model_{}.bin", std::process::id()));
+        system.save(&path).unwrap();
+        let restored = AimqSystem::load(&path).unwrap();
+        assert_eq!(system.mined().afds(), restored.mined().afds());
+        std::fs::remove_file(&path).ok();
+    }
+}

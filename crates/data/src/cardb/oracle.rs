@@ -1,0 +1,220 @@
+//! Latent ground-truth similarity for CarDB tuples.
+//!
+//! The paper validated AIMQ's rankings against 8 human judges (Section
+//! 6.4). Lacking humans, the harness simulates them: each simulated user
+//! re-ranks a system's answers by this oracle plus personal noise. The
+//! oracle reads the generator's *latent* variables (market segment) that
+//! the mining pipeline never sees, so agreement between mined similarity
+//! and the oracle is a non-trivial signal.
+
+use aimq_catalog::{AttrId, Schema, Tuple, Value};
+
+use super::specs::{ModelSpec, MODEL_CATALOG};
+use super::Segment;
+
+/// How much a used-car shopper weighs each aspect when judging whether
+/// two cars are "similar". Chosen to reflect the paper's anecdote that
+/// price matters more than color (Section 5.2).
+const W_MODEL: f64 = 0.28;
+const W_MAKE: f64 = 0.10;
+const W_YEAR: f64 = 0.16;
+const W_PRICE: f64 = 0.24;
+const W_MILEAGE: f64 = 0.14;
+const W_LOCATION: f64 = 0.04;
+const W_COLOR: f64 = 0.04;
+
+/// Ground-truth similarity between two CarDB tuples in `[0, 1]`.
+///
+/// `schema` must be [`CarDb::schema`](super::CarDb::schema) (attribute
+/// positions are fixed: Make, Model, Year, Price, Mileage, Location,
+/// Color). Null values contribute zero similarity on their attribute.
+pub fn car_oracle_similarity(schema: &Schema, a: &Tuple, b: &Tuple) -> f64 {
+    debug_assert_eq!(schema.arity(), 7);
+    let make = |t: &Tuple| t.value(AttrId(0)).as_cat().map(str::to_owned);
+    let model = |t: &Tuple| t.value(AttrId(1)).as_cat().map(str::to_owned);
+
+    let model_sim = match (model(a), model(b)) {
+        (Some(ma), Some(mb)) => model_similarity(&ma, &mb),
+        _ => 0.0,
+    };
+    let make_sim = match (make(a), make(b)) {
+        (Some(ka), Some(kb)) if ka == kb => 1.0,
+        (Some(_), Some(_)) => 0.0,
+        _ => 0.0,
+    };
+    let year_sim = year_similarity(a.value(AttrId(2)), b.value(AttrId(2)));
+    let price_sim = relative_similarity(a.value(AttrId(3)), b.value(AttrId(3)));
+    let mileage_sim = relative_similarity(a.value(AttrId(4)), b.value(AttrId(4)));
+    let loc_sim = equality_similarity(a.value(AttrId(5)), b.value(AttrId(5)));
+    let color_sim = equality_similarity(a.value(AttrId(6)), b.value(AttrId(6)));
+
+    W_MODEL * model_sim
+        + W_MAKE * make_sim
+        + W_YEAR * year_sim
+        + W_PRICE * price_sim
+        + W_MILEAGE * mileage_sim
+        + W_LOCATION * loc_sim
+        + W_COLOR * color_sim
+}
+
+fn spec_of(model: &str) -> Option<&'static ModelSpec> {
+    MODEL_CATALOG.iter().find(|m| m.model == model)
+}
+
+/// Latent model-to-model similarity: same model 1.0; same segment and
+/// comparable price class 0.75; same segment 0.55; same make only 0.25;
+/// otherwise 0.
+fn model_similarity(a: &str, b: &str) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    let (Some(sa), Some(sb)) = (spec_of(a), spec_of(b)) else {
+        return 0.0;
+    };
+    if sa.segment == sb.segment {
+        let ratio = (sa.base_price / sb.base_price).min(sb.base_price / sa.base_price);
+        if ratio > 0.75 {
+            0.75
+        } else {
+            0.55
+        }
+    } else if sa.make == sb.make {
+        0.25
+    } else if is_utility(sa.segment) && is_utility(sb.segment) {
+        // Trucks/SUVs/vans overlap in buyers' eyes.
+        0.3
+    } else {
+        0.0
+    }
+}
+
+fn is_utility(s: Segment) -> bool {
+    matches!(s, Segment::Suv | Segment::Truck | Segment::Van)
+}
+
+/// Year similarity: linear falloff, zero at a 10-year gap. CarDB stores
+/// years as categorical strings.
+fn year_similarity(a: &Value, b: &Value) -> f64 {
+    let parse = |v: &Value| v.as_cat().and_then(|s| s.parse::<i32>().ok());
+    match (parse(a), parse(b)) {
+        (Some(ya), Some(yb)) => (1.0 - f64::from((ya - yb).abs()) / 10.0).max(0.0),
+        _ => 0.0,
+    }
+}
+
+/// Symmetric relative distance on positives: `1 − |a−b| / max(a,b)`.
+fn relative_similarity(a: &Value, b: &Value) -> f64 {
+    match (a.as_num(), b.as_num()) {
+        (Some(x), Some(y)) if x.max(y) > 0.0 => 1.0 - (x - y).abs() / x.max(y),
+        (Some(x), Some(y)) if x == y => 1.0,
+        _ => 0.0,
+    }
+}
+
+fn equality_similarity(a: &Value, b: &Value) -> f64 {
+    if !a.is_null() && a == b {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::CarDb;
+    use super::*;
+
+    fn car(make: &str, model: &str, year: &str, price: f64, mileage: f64) -> Tuple {
+        Tuple::new(
+            &CarDb::schema(),
+            vec![
+                Value::cat(make),
+                Value::cat(model),
+                Value::cat(year),
+                Value::num(price),
+                Value::num(mileage),
+                Value::cat("Phoenix"),
+                Value::cat("White"),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_cars_score_one() {
+        let s = CarDb::schema();
+        let t = car("Toyota", "Camry", "2000", 10000.0, 60000.0);
+        assert!((car_oracle_similarity(&s, &t, &t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn camry_accord_beats_camry_f350() {
+        let s = CarDb::schema();
+        let camry = car("Toyota", "Camry", "2000", 10000.0, 60000.0);
+        let accord = car("Honda", "Accord", "2000", 10000.0, 60000.0);
+        let f350 = car("Ford", "F-350", "2000", 10000.0, 60000.0);
+        let sim_accord = car_oracle_similarity(&s, &camry, &accord);
+        let sim_f350 = car_oracle_similarity(&s, &camry, &f350);
+        assert!(sim_accord > sim_f350);
+        assert!(sim_accord > 0.6);
+    }
+
+    #[test]
+    fn price_gap_lowers_similarity() {
+        let s = CarDb::schema();
+        let a = car("Toyota", "Camry", "2000", 10000.0, 60000.0);
+        let near = car("Toyota", "Camry", "2000", 10500.0, 60000.0);
+        let far = car("Toyota", "Camry", "2000", 30000.0, 60000.0);
+        assert!(
+            car_oracle_similarity(&s, &a, &near) > car_oracle_similarity(&s, &a, &far)
+        );
+    }
+
+    #[test]
+    fn year_falloff_is_linear_to_ten_years() {
+        let s = CarDb::schema();
+        let a = car("Toyota", "Camry", "2000", 10000.0, 60000.0);
+        let b = car("Toyota", "Camry", "1995", 10000.0, 60000.0);
+        let c = car("Toyota", "Camry", "1985", 10000.0, 60000.0);
+        let sab = car_oracle_similarity(&s, &a, &b);
+        let sac = car_oracle_similarity(&s, &a, &c);
+        assert!(sab > sac);
+        // 15-year gap saturates at zero year-similarity, same as 10-year.
+        let d = car("Toyota", "Camry", "1990", 10000.0, 60000.0);
+        let sad = car_oracle_similarity(&s, &a, &d);
+        assert!(sac <= sad);
+    }
+
+    #[test]
+    fn symmetric() {
+        let s = CarDb::schema();
+        let a = car("Kia", "Rio", "2001", 6000.0, 40000.0);
+        let b = car("Hyundai", "Accent", "2000", 5500.0, 55000.0);
+        assert!(
+            (car_oracle_similarity(&s, &a, &b) - car_oracle_similarity(&s, &b, &a)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn utility_segments_have_affinity() {
+        let s = CarDb::schema();
+        let bronco = car("Ford", "Bronco", "1995", 8000.0, 90000.0);
+        let aerostar = car("Ford", "Aerostar", "1995", 8000.0, 90000.0);
+        let civic = car("Honda", "Civic", "1995", 8000.0, 90000.0);
+        // SUV vs van (same make): more similar than SUV vs economy sedan.
+        assert!(
+            car_oracle_similarity(&s, &bronco, &aerostar)
+                > car_oracle_similarity(&s, &bronco, &civic)
+        );
+    }
+
+    #[test]
+    fn unknown_models_fall_back_gracefully() {
+        let s = CarDb::schema();
+        let a = car("Toyota", "Camry", "2000", 10000.0, 60000.0);
+        let weird = car("Toyota", "Unknown-Model", "2000", 10000.0, 60000.0);
+        let sim = car_oracle_similarity(&s, &a, &weird);
+        assert!((0.0..1.0).contains(&sim)); // no panic, partial credit
+    }
+}

@@ -1,0 +1,317 @@
+//! Static catalog backing the CarDB generator: real-world model lines
+//! with a latent market segment and a new-car base price. The catalog is
+//! chosen so every make/model the paper's tables and figures mention
+//! (Kia, Hyundai, Isuzu, Subaru; Bronco, Aerostar, F-350, Econoline Van,
+//! ...) exists and so that intra-segment models genuinely co-occur with
+//! similar price/mileage buckets — the signal AIMQ's similarity miner is
+//! supposed to pick up.
+
+/// Latent market segment of a model line. Drives pricing and the
+/// ground-truth oracle; invisible to the mining pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Segment {
+    /// Small, cheap commuter cars.
+    Economy,
+    /// Mid-size family sedans.
+    Sedan,
+    /// Premium/luxury cars.
+    Luxury,
+    /// Two-door performance cars.
+    Sports,
+    /// Sport-utility vehicles.
+    Suv,
+    /// Pickup trucks.
+    Truck,
+    /// Minivans and full-size vans.
+    Van,
+}
+
+/// A model line in the catalog.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelSpec {
+    pub make: &'static str,
+    pub model: &'static str,
+    pub segment: Segment,
+    /// Price of the car when new, in dollars.
+    pub base_price: f64,
+    /// Relative sampling weight.
+    pub popularity: f64,
+}
+
+const fn m(
+    make: &'static str,
+    model: &'static str,
+    segment: Segment,
+    base_price: f64,
+    popularity: f64,
+) -> ModelSpec {
+    ModelSpec {
+        make,
+        model,
+        segment,
+        base_price,
+        popularity,
+    }
+}
+
+use Segment::*;
+
+/// The full model catalog (~100 model lines over 25 makes).
+pub static MODEL_CATALOG: &[ModelSpec] = &[
+    // Toyota
+    m("Toyota", "Camry", Sedan, 21000.0, 9.0),
+    m("Toyota", "Corolla", Economy, 14500.0, 8.0),
+    m("Toyota", "Avalon", Sedan, 27000.0, 3.0),
+    m("Toyota", "Celica", Sports, 22000.0, 2.0),
+    m("Toyota", "4Runner", Suv, 28000.0, 4.0),
+    m("Toyota", "Tacoma", Truck, 19000.0, 4.0),
+    m("Toyota", "Sienna", Van, 24000.0, 3.0),
+    m("Toyota", "Land Cruiser", Suv, 47000.0, 1.0),
+    // Honda
+    m("Honda", "Accord", Sedan, 20500.0, 9.0),
+    m("Honda", "Civic", Economy, 14000.0, 8.5),
+    m("Honda", "Prelude", Sports, 24000.0, 1.5),
+    m("Honda", "CR-V", Suv, 20000.0, 4.0),
+    m("Honda", "Odyssey", Van, 25000.0, 3.0),
+    m("Honda", "Passport", Suv, 24000.0, 1.5),
+    // Ford
+    m("Ford", "Taurus", Sedan, 19000.0, 7.0),
+    m("Ford", "Focus", Economy, 13500.0, 6.0),
+    m("Ford", "ZX2", Economy, 12500.0, 2.0),
+    m("Ford", "Escort", Economy, 12000.0, 4.0),
+    m("Ford", "Mustang", Sports, 21000.0, 4.0),
+    m("Ford", "F150", Truck, 22000.0, 7.0),
+    m("Ford", "F-350", Truck, 30000.0, 2.0),
+    m("Ford", "Ranger", Truck, 16000.0, 4.0),
+    m("Ford", "Bronco", Suv, 26000.0, 2.0),
+    m("Ford", "Explorer", Suv, 26000.0, 5.0),
+    m("Ford", "Aerostar", Van, 20000.0, 2.0),
+    m("Ford", "Econoline Van", Van, 23000.0, 2.0),
+    m("Ford", "Windstar", Van, 22000.0, 2.5),
+    // Chevrolet
+    m("Chevrolet", "Impala", Sedan, 20000.0, 5.0),
+    m("Chevrolet", "Malibu", Sedan, 17500.0, 5.0),
+    m("Chevrolet", "Cavalier", Economy, 13000.0, 5.0),
+    m("Chevrolet", "Camaro", Sports, 21500.0, 3.0),
+    m("Chevrolet", "Silverado", Truck, 23000.0, 6.0),
+    m("Chevrolet", "S-10", Truck, 15500.0, 3.0),
+    m("Chevrolet", "Blazer", Suv, 24000.0, 3.5),
+    m("Chevrolet", "Suburban", Suv, 33000.0, 2.5),
+    m("Chevrolet", "Astro", Van, 21000.0, 2.0),
+    // Dodge
+    m("Dodge", "Intrepid", Sedan, 19500.0, 3.5),
+    m("Dodge", "Stratus", Sedan, 17000.0, 3.0),
+    m("Dodge", "Neon", Economy, 12500.0, 4.0),
+    m("Dodge", "Ram", Truck, 22500.0, 5.0),
+    m("Dodge", "Dakota", Truck, 17500.0, 3.0),
+    m("Dodge", "Durango", Suv, 26500.0, 2.5),
+    m("Dodge", "Caravan", Van, 21000.0, 4.5),
+    // Nissan
+    m("Nissan", "Altima", Sedan, 18500.0, 5.0),
+    m("Nissan", "Maxima", Sedan, 23500.0, 3.5),
+    m("Nissan", "Sentra", Economy, 13500.0, 4.5),
+    m("Nissan", "300ZX", Sports, 33000.0, 1.0),
+    m("Nissan", "Pathfinder", Suv, 27000.0, 3.0),
+    m("Nissan", "Frontier", Truck, 17000.0, 2.5),
+    m("Nissan", "Quest", Van, 22500.0, 1.5),
+    // BMW
+    m("BMW", "325i", Luxury, 29000.0, 2.5),
+    m("BMW", "525i", Luxury, 38000.0, 1.8),
+    m("BMW", "740i", Luxury, 62000.0, 0.8),
+    m("BMW", "Z3", Sports, 33000.0, 1.0),
+    m("BMW", "X5", Luxury, 49000.0, 1.2),
+    // Kia
+    m("Kia", "Sephia", Economy, 11000.0, 2.0),
+    m("Kia", "Rio", Economy, 9500.0, 2.0),
+    m("Kia", "Spectra", Economy, 11500.0, 1.5),
+    m("Kia", "Sportage", Suv, 16500.0, 1.5),
+    // Hyundai
+    m("Hyundai", "Accent", Economy, 10000.0, 2.5),
+    m("Hyundai", "Elantra", Economy, 12000.0, 3.0),
+    m("Hyundai", "Sonata", Sedan, 16000.0, 2.5),
+    m("Hyundai", "Tiburon", Sports, 15500.0, 1.0),
+    // Isuzu
+    m("Isuzu", "Rodeo", Suv, 20500.0, 1.8),
+    m("Isuzu", "Trooper", Suv, 26000.0, 1.2),
+    m("Isuzu", "Amigo", Suv, 17000.0, 0.8),
+    m("Isuzu", "Hombre", Truck, 14500.0, 0.7),
+    // Subaru
+    m("Subaru", "Legacy", Sedan, 18500.0, 2.5),
+    m("Subaru", "Impreza", Economy, 16000.0, 2.0),
+    m("Subaru", "Outback", Suv, 22500.0, 2.5),
+    m("Subaru", "Forester", Suv, 20500.0, 2.0),
+    // Mercedes-Benz
+    m("Mercedes-Benz", "C230", Luxury, 31000.0, 1.5),
+    m("Mercedes-Benz", "E320", Luxury, 48000.0, 1.2),
+    m("Mercedes-Benz", "S500", Luxury, 78000.0, 0.5),
+    // Volkswagen
+    m("Volkswagen", "Jetta", Economy, 16500.0, 4.0),
+    m("Volkswagen", "Passat", Sedan, 21500.0, 2.5),
+    m("Volkswagen", "Golf", Economy, 15000.0, 2.0),
+    m("Volkswagen", "Beetle", Economy, 16000.0, 2.0),
+    // Mazda
+    m("Mazda", "626", Sedan, 17500.0, 2.5),
+    m("Mazda", "Protege", Economy, 13000.0, 2.5),
+    m("Mazda", "Miata", Sports, 21000.0, 1.5),
+    m("Mazda", "MPV", Van, 21500.0, 1.5),
+    m("Mazda", "B-Series", Truck, 15000.0, 1.2),
+    // Mitsubishi
+    m("Mitsubishi", "Galant", Sedan, 17500.0, 2.5),
+    m("Mitsubishi", "Mirage", Economy, 11500.0, 1.5),
+    m("Mitsubishi", "Eclipse", Sports, 19500.0, 2.0),
+    m("Mitsubishi", "Montero", Suv, 28000.0, 1.2),
+    // Saturn
+    m("Saturn", "SL2", Economy, 13000.0, 2.5),
+    m("Saturn", "SC1", Economy, 13500.0, 1.2),
+    // Volvo
+    m("Volvo", "S70", Luxury, 28500.0, 1.5),
+    m("Volvo", "V70", Luxury, 31000.0, 1.2),
+    m("Volvo", "850", Luxury, 27000.0, 1.0),
+    // Audi
+    m("Audi", "A4", Luxury, 28000.0, 1.8),
+    m("Audi", "A6", Luxury, 36000.0, 1.2),
+    // Jeep
+    m("Jeep", "Wrangler", Suv, 18500.0, 3.0),
+    m("Jeep", "Cherokee", Suv, 21500.0, 3.5),
+    m("Jeep", "Grand Cherokee", Suv, 28000.0, 3.5),
+    // Lexus
+    m("Lexus", "ES300", Luxury, 32000.0, 1.5),
+    m("Lexus", "RX300", Luxury, 35000.0, 1.5),
+    // GMC
+    m("GMC", "Sierra", Truck, 23500.0, 3.0),
+    m("GMC", "Jimmy", Suv, 23000.0, 1.5),
+    m("GMC", "Safari", Van, 21500.0, 1.0),
+    // Mercury
+    m("Mercury", "Sable", Sedan, 19500.0, 2.0),
+    m("Mercury", "Cougar", Sports, 17500.0, 1.2),
+    m("Mercury", "Villager", Van, 22000.0, 1.0),
+    // Buick
+    m("Buick", "LeSabre", Sedan, 23000.0, 2.5),
+    m("Buick", "Century", Sedan, 20000.0, 2.0),
+    m("Buick", "Regal", Sedan, 21500.0, 1.8),
+    // Pontiac
+    m("Pontiac", "Grand Am", Sedan, 17000.0, 3.0),
+    m("Pontiac", "Firebird", Sports, 21500.0, 1.8),
+    m("Pontiac", "Sunfire", Economy, 13500.0, 2.0),
+];
+
+/// Listing locations with sampling weights (~100 US cities, skewed
+/// toward large metros). City-level granularity matters: it keeps the
+/// relation *sparse* along Location, as the paper's Yahoo Autos crawl
+/// was, so arbitrary (random) query relaxations genuinely pay a price.
+pub static LOCATIONS: &[(&str, f64)] = &[
+    ("New York", 8.0), ("Los Angeles", 7.5), ("Chicago", 6.0),
+    ("Houston", 5.5), ("Phoenix", 5.0), ("Philadelphia", 4.5),
+    ("San Antonio", 4.0), ("San Diego", 4.0), ("Dallas", 4.5),
+    ("San Jose", 3.5), ("Austin", 3.5), ("Jacksonville", 2.8),
+    ("Fort Worth", 2.8), ("Columbus", 2.7), ("Charlotte", 2.7),
+    ("San Francisco", 3.5), ("Indianapolis", 2.6), ("Seattle", 3.4),
+    ("Denver", 3.2), ("Washington", 3.4), ("Boston", 3.2),
+    ("El Paso", 2.0), ("Nashville", 2.4), ("Detroit", 2.8),
+    ("Oklahoma City", 2.0), ("Portland", 2.6), ("Las Vegas", 2.6),
+    ("Memphis", 2.0), ("Louisville", 1.9), ("Baltimore", 2.2),
+    ("Milwaukee", 1.9), ("Albuquerque", 1.7), ("Tucson", 1.7),
+    ("Fresno", 1.6), ("Sacramento", 2.0), ("Kansas City", 1.9),
+    ("Mesa", 1.5), ("Atlanta", 2.8), ("Omaha", 1.5),
+    ("Colorado Springs", 1.5), ("Raleigh", 1.7), ("Miami", 2.6),
+    ("Virginia Beach", 1.5), ("Oakland", 1.7), ("Minneapolis", 2.2),
+    ("Tulsa", 1.4), ("Arlington", 1.3), ("Tampa", 1.9),
+    ("New Orleans", 1.7), ("Wichita", 1.3), ("Cleveland", 1.8),
+    ("Bakersfield", 1.2), ("Aurora", 1.1), ("Anaheim", 1.2),
+    ("Honolulu", 1.2), ("Santa Ana", 1.1), ("Riverside", 1.2),
+    ("Corpus Christi", 1.1), ("Lexington", 1.1), ("Stockton", 1.0),
+    ("Henderson", 1.0), ("Saint Paul", 1.1), ("St. Louis", 1.8),
+    ("Cincinnati", 1.5), ("Pittsburgh", 1.7), ("Greensboro", 1.0),
+    ("Anchorage", 0.8), ("Plano", 1.0), ("Lincoln", 0.9),
+    ("Orlando", 1.6), ("Irvine", 1.0), ("Newark", 1.1),
+    ("Toledo", 0.9), ("Durham", 1.0), ("Chula Vista", 0.9),
+    ("Fort Wayne", 0.9), ("Jersey City", 1.0), ("St. Petersburg", 1.0),
+    ("Laredo", 0.8), ("Madison", 1.0), ("Chandler", 0.9),
+    ("Buffalo", 1.1), ("Lubbock", 0.8), ("Scottsdale", 0.9),
+    ("Reno", 0.9), ("Glendale", 0.8), ("Gilbert", 0.8),
+    ("Winston-Salem", 0.8), ("North Las Vegas", 0.8), ("Norfolk", 0.9),
+    ("Chesapeake", 0.8), ("Garland", 0.8), ("Irving", 0.8),
+    ("Hialeah", 0.8), ("Fremont", 0.8), ("Boise", 0.9),
+    ("Richmond", 1.0), ("Baton Rouge", 0.9), ("Spokane", 0.9),
+    ("Des Moines", 0.9), ("Tacoma", 0.8), ("San Bernardino", 0.8),
+];
+
+/// Exterior colors with base weights.
+pub static COLORS: &[(&str, f64)] = &[
+    ("White", 8.0),
+    ("Black", 7.0),
+    ("Silver", 7.0),
+    ("Gray", 5.0),
+    ("Blue", 5.0),
+    ("Red", 5.0),
+    ("Green", 3.5),
+    ("Tan", 2.5),
+    ("Gold", 2.0),
+    ("Maroon", 1.8),
+    ("Yellow", 0.8),
+    ("Orange", 0.5),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_well_formed() {
+        assert!(MODEL_CATALOG.len() >= 100);
+        for spec in MODEL_CATALOG {
+            assert!(spec.base_price > 5_000.0, "{} too cheap", spec.model);
+            assert!(spec.base_price < 100_000.0);
+            assert!(spec.popularity > 0.0);
+            assert!(!spec.make.is_empty() && !spec.model.is_empty());
+        }
+    }
+
+    #[test]
+    fn models_are_unique() {
+        let mut models: Vec<&str> = MODEL_CATALOG.iter().map(|s| s.model).collect();
+        models.sort_unstable();
+        let before = models.len();
+        models.dedup();
+        assert_eq!(models.len(), before, "duplicate model names break the Model→Make FD");
+    }
+
+    #[test]
+    fn every_segment_is_represented() {
+        for seg in [
+            Segment::Economy,
+            Segment::Sedan,
+            Segment::Luxury,
+            Segment::Sports,
+            Segment::Suv,
+            Segment::Truck,
+            Segment::Van,
+        ] {
+            assert!(
+                MODEL_CATALOG.iter().any(|s| s.segment == seg),
+                "no model in segment {seg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn luxury_costs_more_than_economy_on_average() {
+        let avg = |seg: Segment| {
+            let xs: Vec<f64> = MODEL_CATALOG
+                .iter()
+                .filter(|s| s.segment == seg)
+                .map(|s| s.base_price)
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        assert!(avg(Segment::Luxury) > 2.0 * avg(Segment::Economy));
+    }
+
+    #[test]
+    fn location_and_color_tables_nonempty_with_positive_weights() {
+        assert!(LOCATIONS.len() >= 20);
+        assert!(COLORS.len() >= 10);
+        assert!(LOCATIONS.iter().all(|&(_, w)| w > 0.0));
+        assert!(COLORS.iter().all(|&(_, w)| w > 0.0));
+    }
+}

@@ -1,0 +1,108 @@
+//! Value domains and latent earning scores for the CensusDB generator.
+//! Names follow the UCI Adult dataset's vocabulary so that queries from
+//! the paper (e.g. `Education like Bachelors, Hours-per-week like 40`)
+//! make sense verbatim.
+
+/// Education levels with their latent earning score in `[0, 1]`.
+pub fn education_table() -> &'static [(&'static str, f64)] {
+    &[
+        ("9th", 0.05),
+        ("11th", 0.10),
+        ("HS-grad", 0.25),
+        ("Some-college", 0.40),
+        ("Assoc-voc", 0.45),
+        ("Assoc-acdm", 0.50),
+        ("Bachelors", 0.70),
+        ("Masters", 0.85),
+        ("Prof-school", 0.95),
+        ("Doctorate", 1.00),
+    ]
+}
+
+/// Sampling weights aligned with [`education_table`] (UCI-ish marginals).
+pub static EDU_WEIGHTS: &[f64] = &[3.0, 5.0, 32.0, 22.0, 4.0, 3.0, 17.0, 6.0, 1.5, 1.5];
+
+/// Occupations with their latent earning score in `[0, 1]`.
+pub fn occupation_table() -> &'static [(&'static str, f64)] {
+    &[
+        ("Exec-managerial", 0.90),
+        ("Prof-specialty", 0.85),
+        ("Tech-support", 0.60),
+        ("Sales", 0.50),
+        ("Craft-repair", 0.45),
+        ("Protective-serv", 0.50),
+        ("Adm-clerical", 0.35),
+        ("Transport-moving", 0.35),
+        ("Machine-op-inspct", 0.30),
+        ("Farming-fishing", 0.20),
+        ("Handlers-cleaners", 0.15),
+        ("Other-service", 0.15),
+    ]
+}
+
+/// Work classes (UCI vocabulary).
+pub static WORKCLASSES: &[&str] = &[
+    "Private",
+    "Self-emp-not-inc",
+    "Self-emp-inc",
+    "Federal-gov",
+    "State-gov",
+    "Local-gov",
+];
+
+/// Race values (UCI vocabulary).
+pub static RACES: &[&str] = &[
+    "White",
+    "Black",
+    "Asian-Pac-Islander",
+    "Amer-Indian-Eskimo",
+    "Other",
+];
+
+/// Native countries (UCI's most frequent values).
+pub static NATIVE_COUNTRIES: &[&str] = &[
+    "United-States",
+    "Mexico",
+    "Philippines",
+    "Germany",
+    "Canada",
+    "Puerto-Rico",
+    "India",
+    "El-Salvador",
+    "Cuba",
+    "China",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_aligned() {
+        assert_eq!(education_table().len(), EDU_WEIGHTS.len());
+    }
+
+    #[test]
+    fn scores_are_monotone_with_schooling() {
+        let t = education_table();
+        for w in t.windows(2) {
+            assert!(w[0].1 <= w[1].1, "{} vs {}", w[0].0, w[1].0);
+        }
+    }
+
+    #[test]
+    fn scores_in_unit_interval() {
+        for &(_, s) in education_table() {
+            assert!((0.0..=1.0).contains(&s));
+        }
+        for &(_, s) in occupation_table() {
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn paper_query_values_exist() {
+        // Q':- CensusDB(Education like Bachelors, Hours-per-week like 40)
+        assert!(education_table().iter().any(|&(e, _)| e == "Bachelors"));
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # aimq-data
+//!
+//! Seeded synthetic dataset generators standing in for the two real-life
+//! corpora of the AIMQ paper's evaluation:
+//!
+//! * **CarDB** — the paper extracted 100,000 used-car tuples from Yahoo
+//!   Autos projecting `CarDB(Make, Model, Year, Price, Mileage, Location,
+//!   Color)`. [`CarDb`] generates an arbitrarily large relation from a
+//!   catalog of ~100 real-world model lines with a latent pricing model:
+//!   `Model` functionally determines `Make`; `Price` is driven by the
+//!   model's segment, its year and its mileage; `Mileage` grows with age.
+//!   That plants exactly the dependency structure the paper reports
+//!   mining (Model least dependent / most deciding, Make most dependent,
+//!   a compact high-quality approximate key) while remaining honest: the
+//!   mining pipeline never sees the latent variables.
+//!
+//! * **CensusDB** — the paper used 45,000 tuples of the UCI Adult/Census
+//!   dataset with 13 attributes. [`CensusDb`] generates demographically
+//!   plausible person records whose income class (`>50K` / `<=50K`) is a
+//!   noisy function of education, occupation, age, hours-per-week and
+//!   capital gains. The class labels are returned *separately* from the
+//!   relation, mirroring the paper's protocol ("Since tuples were
+//!   pre-classified, we can safely assume that tuples belonging to same
+//!   class are more similar", Section 6.5).
+//!
+//! Both generators also expose a **latent ground-truth similarity
+//! oracle** ([`car_oracle_similarity`]) used by the evaluation harness to
+//! simulate the paper's user study (Section 6.4): simulated users re-rank
+//! system answers by oracle similarity plus personal noise. The oracle is
+//! *never* visible to AIMQ or ROCK.
+
+mod cardb;
+mod census;
+
+pub use cardb::{car_oracle_similarity, CarDb, Segment};
+pub use census::{CensusDb, IncomeClass};

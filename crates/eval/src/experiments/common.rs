@@ -1,0 +1,160 @@
+//! Shared setup for the experiment runners: bucket policies, training
+//! shortcuts and workload pickers.
+
+use aimq::{AimqSystem, TrainConfig};
+use aimq_afd::{BucketConfig, TaneConfig};
+use aimq_catalog::{BucketSpec, Schema};
+use aimq_storage::{Relation, RowId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Bucket policy for CarDB, mirroring the paper's Table 1 granularity
+/// (`Price 1k-5k`, `Mileage 10k-15k`): Price in $1,000 buckets, Mileage
+/// in 5,000-mile buckets.
+pub fn cardb_buckets(schema: &Schema) -> BucketConfig {
+    let price = schema.attr_id("Price").expect("CarDB has Price");
+    let mileage = schema.attr_id("Mileage").expect("CarDB has Mileage");
+    BucketConfig::for_schema(schema)
+        .with_spec(price, BucketSpec::width(1_000.0))
+        .with_spec(mileage, BucketSpec::width(5_000.0))
+}
+
+/// Bucket policy for CensusDB: decade ages, 10-hour work weeks, coarse
+/// capital movements, broad demographic weights.
+pub fn census_buckets(schema: &Schema) -> BucketConfig {
+    let spec = |name: &str, width: f64| {
+        (
+            schema.attr_id(name).expect("CensusDB attribute"),
+            BucketSpec::width(width),
+        )
+    };
+    let mut config = BucketConfig::for_schema(schema);
+    for (attr, s) in [
+        spec("Age", 10.0),
+        spec("Demographic-weight", 50_000.0),
+        spec("Capital-gain", 5_000.0),
+        spec("Capital-loss", 1_000.0),
+        spec("Hours-per-week", 10.0),
+    ] {
+        config = config.with_spec(attr, s);
+    }
+    config
+}
+
+/// TANE configuration used throughout the CarDB experiments.
+pub fn cardb_tane() -> TaneConfig {
+    TaneConfig {
+        error_threshold: 0.3,
+        max_lhs_size: 3,
+        max_key_size: 5,
+        prune_superkeys: false,
+    }
+}
+
+/// TANE configuration for CensusDB (13 attributes → tighter lattice cap,
+/// superkey pruning on; documented deviation in DESIGN.md).
+pub fn census_tane() -> TaneConfig {
+    TaneConfig {
+        error_threshold: 0.15,
+        max_lhs_size: 2,
+        max_key_size: 3,
+        prune_superkeys: true,
+    }
+}
+
+/// Train an AIMQ system on a CarDB sample with the standard policies.
+pub fn train_cardb(sample: &Relation) -> AimqSystem {
+    AimqSystem::train(
+        sample,
+        &TrainConfig {
+            tane: cardb_tane(),
+            bucket: Some(cardb_buckets(sample.schema())),
+            smoothing: 0.05,
+            use_uniform_importance: false,
+            parallel_similarity: false,
+        },
+    )
+    .expect("non-empty CarDB sample")
+}
+
+/// Train the "equal importance" variant (what RandomRelax and ROCK
+/// implicitly assume, Section 6.4).
+pub fn train_cardb_uniform(sample: &Relation) -> AimqSystem {
+    AimqSystem::train(
+        sample,
+        &TrainConfig {
+            tane: cardb_tane(),
+            bucket: Some(cardb_buckets(sample.schema())),
+            smoothing: 0.0,
+            use_uniform_importance: true,
+            parallel_similarity: false,
+        },
+    )
+    .expect("non-empty CarDB sample")
+}
+
+/// Train an AIMQ system on a CensusDB sample.
+pub fn train_census(sample: &Relation) -> AimqSystem {
+    AimqSystem::train(
+        sample,
+        &TrainConfig {
+            tane: census_tane(),
+            bucket: Some(census_buckets(sample.schema())),
+            smoothing: 0.05,
+            use_uniform_importance: false,
+            parallel_similarity: false,
+        },
+    )
+    .expect("non-empty CensusDB sample")
+}
+
+/// Pick `n` distinct random rows as the query workload.
+pub fn pick_query_rows(relation: &Relation, n: usize, seed: u64) -> Vec<RowId> {
+    let mut rows: Vec<RowId> = relation.rows().collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    rows.shuffle(&mut rng);
+    rows.truncate(n.min(rows.len()));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimq_data::CarDb;
+
+    #[test]
+    fn bucket_policies_resolve_attributes() {
+        let car = CarDb::schema();
+        let b = cardb_buckets(&car);
+        assert!(b.spec(car.attr_id("Price").unwrap()).is_some());
+        assert!(b.spec(car.attr_id("Make").unwrap()).is_none());
+        let census = aimq_data::CensusDb::schema();
+        let cb = census_buckets(&census);
+        assert!(cb.spec(census.attr_id("Age").unwrap()).is_some());
+    }
+
+    #[test]
+    fn training_shortcuts_work_on_small_samples() {
+        let rel = CarDb::generate(400, 7);
+        let sys = train_cardb(&rel);
+        assert_eq!(sys.ordering().relaxation_order().len(), 7);
+        let uni = train_cardb_uniform(&rel);
+        // Uniform: every attribute same importance.
+        let s = rel.schema();
+        let w0 = uni.ordering().importance(s.attr_id("Make").unwrap());
+        let w1 = uni.ordering().importance(s.attr_id("Color").unwrap());
+        assert!((w0 - w1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_rows_are_distinct_and_deterministic() {
+        let rel = CarDb::generate(200, 7);
+        let a = pick_query_rows(&rel, 10, 3);
+        let b = pick_query_rows(&rel, 10, 3);
+        assert_eq!(a, b);
+        let mut s = a.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 10);
+    }
+}

@@ -1,0 +1,238 @@
+//! **Figure 9 — Domain independence: classification accuracy on
+//! CensusDB.**
+//!
+//! The paper trains AIMQ on a 15k sample of the 45k CensusDB, then issues
+//! 1000 held-out tuples (balanced across the `>50K` / `<=50K` classes) as
+//! imprecise queries. Since same-class tuples are assumed more similar,
+//! the relevance of the top-k answers is measured as the fraction sharing
+//! the query's class. Claims: AIMQ beats ROCK at every k ∈ {1, 3, 5, 10},
+//! and accuracy rises as k shrinks.
+
+use aimq::EngineConfig;
+use aimq_catalog::ImpreciseQuery;
+use aimq_afd::EncodedRelation;
+use aimq_catalog::Tuple;
+use aimq_data::{CensusDb, IncomeClass};
+use aimq_rock::{RockConfig, RockModel};
+use aimq_storage::{InMemoryWebDb, RowId};
+use std::collections::HashMap;
+
+use crate::experiments::common::{census_buckets, train_census};
+use crate::{accuracy_at_k, Scale, TextTable};
+
+/// Result of the Figure 9 run.
+#[derive(Debug, Clone)]
+pub struct Fig9Result {
+    /// The k values, descending as in the paper ({10, 5, 3, 1}).
+    pub ks: Vec<usize>,
+    /// Average top-k accuracy of AIMQ (GuidedRelax) per k.
+    pub aimq: Vec<f64>,
+    /// Average top-k accuracy of ROCK per k.
+    pub rock: Vec<f64>,
+    /// Number of query tuples.
+    pub n_queries: usize,
+    /// Average number of answers AIMQ returned per query (10 = full
+    /// lists; lower values depress the top-10 accuracy by construction).
+    pub avg_aimq_answers: f64,
+    /// Same for ROCK.
+    pub avg_rock_answers: f64,
+}
+
+impl Fig9Result {
+    /// The paper's headline: AIMQ ≥ ROCK at every k.
+    pub fn aimq_dominates(&self) -> bool {
+        self.aimq.iter().zip(&self.rock).all(|(a, r)| a >= r)
+    }
+
+    /// Render the figure's grouped bars.
+    pub fn render(&self) -> TextTable {
+        let mut t = TextTable::new(
+            format!(
+                "Figure 9: top-k classification accuracy on CensusDB ({} queries)",
+                self.n_queries
+            ),
+            &["k", "AIMQ", "ROCK"],
+        );
+        for (i, k) in self.ks.iter().enumerate() {
+            t.row(vec![
+                k.to_string(),
+                format!("{:.3}", self.aimq[i]),
+                format!("{:.3}", self.rock[i]),
+            ]);
+        }
+        t
+    }
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale, seed: u64) -> Fig9Result {
+    let (relation, classes) = CensusDb::generate(scale.censusdb(), seed);
+    let schema = relation.schema().clone();
+    let db = InMemoryWebDb::new(relation);
+
+    // Class lookup for answer tuples (identical tuples with conflicting
+    // classes resolve to the first seen — inherently ambiguous records).
+    let class_of_tuple: HashMap<Tuple, IncomeClass> = db
+        .relation()
+        .rows()
+        .map(|r| (db.relation().tuple(r), classes[r as usize]))
+        .collect();
+
+    // Train AIMQ on a 15k-scale sample.
+    let sample_size = scale.size(15_000);
+    let sample = db.relation().random_sample(sample_size, seed.wrapping_add(1));
+    let system = train_census(&sample);
+
+    // ROCK over the full relation.
+    let enc = EncodedRelation::encode(db.relation(), &census_buckets(&schema));
+    let rock = RockModel::fit(
+        &enc,
+        RockConfig {
+            theta: 0.45,
+            target_clusters: 25,
+            sample_size: scale.size(2_000),
+            seed: seed.wrapping_add(2),
+            min_cluster_size: 1,
+        },
+    );
+
+    // Query workload: held-out rows, balanced across classes.
+    let n_queries = scale.count(1_000);
+    let queries = balanced_heldout_rows(&db, &classes, &sample, n_queries, seed);
+
+    let ks = vec![10, 5, 3, 1];
+    // top_k leaves headroom so that dropping the query tuple itself (and
+    // any class-ambiguous duplicates) still leaves 10 answers.
+    let config = EngineConfig {
+        t_sim: 0.4,
+        top_k: 14,
+        max_relax_level: 5,
+        max_base_tuples: 10,
+        target_relevant: Some(60),
+        // Cover every relaxation set up to 4 attributes (Σ C(13,1..4) =
+        // 1092 steps) plus the cheapest 5-attribute sets.
+        max_steps_per_tuple: 1200,
+    };
+
+    let mut aimq_acc = vec![0.0; ks.len()];
+    let mut rock_acc = vec![0.0; ks.len()];
+    let mut aimq_answer_count = 0usize;
+    let mut rock_answer_count = 0usize;
+
+    for &row in &queries {
+        let query_tuple = db.relation().tuple(row);
+        let query_class = classes[row as usize];
+        let query = ImpreciseQuery::from_tuple(&query_tuple).expect("non-null tuple");
+
+        let aimq_classes: Vec<IncomeClass> = system
+            .answer(&db, &query, &config)
+            .answers
+            .into_iter()
+            .map(|a| a.tuple)
+            .filter(|t| *t != query_tuple)
+            .filter_map(|t| class_of_tuple.get(&t).copied())
+            .take(10)
+            .collect();
+
+        let rock_classes: Vec<IncomeClass> = rock
+            .answer(row as RowId, 10)
+            .into_iter()
+            .map(|(r, _)| classes[r as usize])
+            .collect();
+
+        aimq_answer_count += aimq_classes.len();
+        rock_answer_count += rock_classes.len();
+        for (i, &k) in ks.iter().enumerate() {
+            aimq_acc[i] += accuracy_at_k(&query_class, &aimq_classes, k);
+            rock_acc[i] += accuracy_at_k(&query_class, &rock_classes, k);
+        }
+    }
+
+    let n = queries.len() as f64;
+    Fig9Result {
+        ks,
+        aimq: aimq_acc.into_iter().map(|a| a / n).collect(),
+        rock: rock_acc.into_iter().map(|a| a / n).collect(),
+        n_queries: queries.len(),
+        avg_aimq_answers: aimq_answer_count as f64 / n,
+        avg_rock_answers: rock_answer_count as f64 / n,
+    }
+}
+
+/// Pick `n` rows not present in the training sample, half per class
+/// ("The queries were equally distributed over the classes").
+fn balanced_heldout_rows(
+    db: &InMemoryWebDb,
+    classes: &[IncomeClass],
+    sample: &aimq_storage::Relation,
+    n: usize,
+    seed: u64,
+) -> Vec<RowId> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    // The sample was drawn by tuple value; exclude any row whose tuple
+    // appears in it.
+    let sampled: std::collections::HashSet<Tuple> = sample.tuples().collect();
+    let mut per_class: HashMap<IncomeClass, Vec<RowId>> = HashMap::new();
+    for row in db.relation().rows() {
+        if !sampled.contains(&db.relation().tuple(row)) {
+            per_class
+                .entry(classes[row as usize])
+                .or_default()
+                .push(row);
+        }
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(9));
+    let mut out = Vec::with_capacity(n);
+    let half = n / 2;
+    for class in [IncomeClass::Above50K, IncomeClass::AtMost50K] {
+        let rows = per_class.entry(class).or_default();
+        rows.shuffle(&mut rng);
+        out.extend(rows.iter().copied().take(half.max(1)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> Fig9Result {
+        run(Scale::quick(), 29)
+    }
+
+    #[test]
+    fn reports_the_paper_ks() {
+        let r = result();
+        assert_eq!(r.ks, vec![10, 5, 3, 1]);
+        assert_eq!(r.aimq.len(), 4);
+        assert_eq!(r.rock.len(), 4);
+    }
+
+    #[test]
+    fn accuracies_are_probabilities() {
+        let r = result();
+        for v in r.aimq.iter().chain(&r.rock) {
+            assert!((0.0..=1.0).contains(v), "accuracy {v}");
+        }
+    }
+
+    #[test]
+    fn aimq_beats_chance() {
+        // Balanced queries over two classes: chance is ~0.5 for the
+        // majority-class-insensitive metric; AIMQ's neighbors should do
+        // better than random tuples at the largest k.
+        let r = result();
+        assert!(
+            r.aimq[0] > 0.4,
+            "AIMQ top-10 accuracy suspiciously low: {:?}",
+            r.aimq
+        );
+    }
+
+    #[test]
+    fn render_has_four_rows() {
+        assert_eq!(result().render().len(), 4);
+    }
+}

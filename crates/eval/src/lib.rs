@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # aimq-eval
+//!
+//! The experiment harness reproducing **every table and figure** of the
+//! AIMQ paper's evaluation (Section 6):
+//!
+//! | Experiment | Paper | Runner |
+//! |---|---|---|
+//! | Offline computation time | Table 2 | [`experiments::table2`] |
+//! | Robustness of attribute ordering | Figure 3 | [`experiments::fig3`] |
+//! | Robustness of key mining | Figure 4 | [`experiments::fig4`] |
+//! | Robust similarity estimation | Table 3 | [`experiments::table3`] |
+//! | Similarity graph for `Make` | Figure 5 | [`experiments::fig5`] |
+//! | GuidedRelax / RandomRelax efficiency | Figures 6 & 7 | [`experiments::fig67`] |
+//! | Simulated user study (MRR) | Figure 8 | [`experiments::fig8`] |
+//! | CensusDB classification accuracy | Figure 9 | [`experiments::fig9`] |
+//! | Relevance feedback (extension) | — (Section 7 plan) | [`experiments::feedback`] |
+//! | Importance-source ablation (extension) | — | [`experiments::ablation`] |
+//!
+//! Each runner is a pure function of a [`Scale`] (dataset sizes) and a
+//! seed, returns a typed result struct, and renders the same rows/series
+//! the paper reports as an ASCII table. The `aimq-bench` crate wraps each
+//! runner in a binary; the suite's integration tests run them at
+//! [`Scale::quick`] and assert the paper's *qualitative* claims (who
+//! wins, what stays stable) rather than absolute numbers.
+
+pub mod experiments;
+mod metrics;
+mod scale;
+mod table;
+mod users;
+
+pub use metrics::{accuracy_at_k, redefined_mrr};
+pub use scale::Scale;
+pub use table::{f3, secs, TextTable};
+pub use users::{simulate_user_ranks, SimulatedUser};

@@ -1,0 +1,101 @@
+/// The paper's **redefined MRR** (Section 6.4). TREC's reciprocal rank
+/// assumes one correct answer; the paper instead compares, per answer,
+/// the system's rank with the user's rank:
+///
+/// ```text
+/// MRR(Q) = Avg_i ( 1 / (|UserRank(t_i) − SystemRank(t_i)| + 1) )
+/// ```
+///
+/// `user_ranks[i]` is the user's rank for the answer the system put at
+/// rank `i + 1`; a user rank of **0** means "completely irrelevant" (the
+/// paper's instruction to its judges).
+pub fn redefined_mrr(user_ranks: &[u32]) -> f64 {
+    if user_ranks.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = user_ranks
+        .iter()
+        .enumerate()
+        .map(|(i, &user)| {
+            let system = (i + 1) as f64;
+            1.0 / ((f64::from(user) - system).abs() + 1.0)
+        })
+        .sum();
+    sum / user_ranks.len() as f64
+}
+
+/// Top-k classification accuracy (Figure 9): the fraction of the first
+/// `k` answers whose class matches the query's class. Answer lists
+/// shorter than `k` are averaged over `k` (missing answers count as
+/// wrong) — an empty answer list scores 0, matching the intuition that a
+/// system returning nothing classified nothing correctly.
+pub fn accuracy_at_k<C: PartialEq>(query_class: &C, answer_classes: &[C], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = answer_classes
+        .iter()
+        .take(k)
+        .filter(|c| *c == query_class)
+        .count();
+    hits as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mrr_perfect_agreement_is_one() {
+        // User ranks exactly match system ranks 1..5.
+        assert!((redefined_mrr(&[1, 2, 3, 4, 5]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mrr_off_by_one_everywhere() {
+        // |diff| = 1 for every answer → every term 1/2.
+        assert!((redefined_mrr(&[2, 3, 4, 5, 6]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mrr_irrelevant_answers_score_low() {
+        // All judged irrelevant (rank 0): term_i = 1/(i+1+0)... |0-i|+1.
+        let m = redefined_mrr(&[0, 0, 0]);
+        let expected = (1.0 / 2.0 + 1.0 / 3.0 + 1.0 / 4.0) / 3.0;
+        assert!((m - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mrr_empty_is_zero() {
+        assert_eq!(redefined_mrr(&[]), 0.0);
+    }
+
+    #[test]
+    fn mrr_reversed_order_is_worse_than_matching() {
+        let matching = redefined_mrr(&[1, 2, 3, 4]);
+        let reversed = redefined_mrr(&[4, 3, 2, 1]);
+        assert!(matching > reversed);
+    }
+
+    #[test]
+    fn accuracy_counts_matching_prefix() {
+        let q = "hi";
+        let answers = ["hi", "lo", "hi", "hi"];
+        assert!((accuracy_at_k(&q, &answers, 1) - 1.0).abs() < 1e-12);
+        assert!((accuracy_at_k(&q, &answers, 2) - 0.5).abs() < 1e-12);
+        assert!((accuracy_at_k(&q, &answers, 4) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_short_answer_lists_penalized() {
+        let q = 1;
+        let answers = [1];
+        assert!((accuracy_at_k(&q, &answers, 5) - 0.2).abs() < 1e-12);
+        assert_eq!(accuracy_at_k(&q, &[] as &[i32], 5), 0.0);
+    }
+
+    #[test]
+    fn accuracy_k_zero() {
+        assert_eq!(accuracy_at_k(&1, &[1, 1], 0), 0.0);
+    }
+}

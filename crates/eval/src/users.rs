@@ -1,0 +1,194 @@
+use aimq_catalog::{Schema, Tuple};
+use rand::{RngExt, SeedableRng};
+
+/// A simulated relevance judge for the user study (Figure 8).
+///
+/// The paper's 8 graduate students each re-ranked the top-10 answers of
+/// each system "according to their notion of relevance", marking
+/// completely irrelevant tuples with rank 0. A [`SimulatedUser`] does the
+/// same with the dataset's latent oracle similarity plus user-specific
+/// Gaussian-ish noise: different seeds are different users, and the noise
+/// models honest disagreement between judges.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulatedUser {
+    /// Seed distinguishing this user from the others.
+    pub seed: u64,
+    /// Standard deviation of the perturbation applied to the oracle
+    /// similarity before ranking (0 = oracle itself).
+    pub noise: f64,
+    /// Perceived similarity below which the user judges an answer
+    /// "completely irrelevant" (rank 0).
+    pub irrelevance_cutoff: f64,
+    /// Just-noticeable difference: answers whose perceived similarities
+    /// differ by less than this look equally good, and the user leaves
+    /// them in the order the system presented them (anchoring). Human
+    /// judges re-order only what they can actually tell apart.
+    pub jnd: f64,
+}
+
+impl SimulatedUser {
+    /// The panel of `n` users used by the Figure 8 experiment.
+    pub fn panel(n: usize, base_seed: u64) -> Vec<SimulatedUser> {
+        (0..n as u64)
+            .map(|i| SimulatedUser {
+                seed: base_seed.wrapping_add(i * 7919),
+                noise: 0.08,
+                // Used-car shoppers reject answers that miss on the things
+                // they care about (model class, price band); the latent
+                // oracle puts such misses well below 0.55.
+                irrelevance_cutoff: 0.55,
+                jnd: 0.08,
+            })
+            .collect()
+    }
+}
+
+/// Produce the user's ranks for a system's answer list.
+///
+/// `oracle` gives the ground-truth similarity between the query tuple and
+/// an answer. Returns `user_ranks[i]` = this user's rank for the answer
+/// the system placed at position `i + 1` (0 = judged irrelevant) — the
+/// exact input shape [`redefined_mrr`](crate::redefined_mrr) expects.
+pub fn simulate_user_ranks(
+    user: &SimulatedUser,
+    schema: &Schema,
+    query: &Tuple,
+    answers: &[Tuple],
+    oracle: &dyn Fn(&Schema, &Tuple, &Tuple) -> f64,
+) -> Vec<u32> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(user.seed);
+    // Perceived similarity per answer.
+    let perceived: Vec<f64> = answers
+        .iter()
+        .map(|a| {
+            let noise = (rng.random::<f64>() - 0.5) * 2.0 * user.noise;
+            (oracle(schema, query, a) + noise).clamp(0.0, 1.0)
+        })
+        .collect();
+
+    // The user orders the relevant answers by perceived similarity,
+    // quantized to the just-noticeable difference: indistinguishable
+    // answers keep their presented (system) order.
+    let level = |i: usize| -> i64 {
+        if user.jnd > 0.0 {
+            (perceived[i] / user.jnd).floor() as i64
+        } else {
+            (perceived[i] * 1e12) as i64
+        }
+    };
+    let mut order: Vec<usize> = (0..answers.len())
+        .filter(|&i| perceived[i] >= user.irrelevance_cutoff)
+        .collect();
+    order.sort_by(|&a, &b| level(b).cmp(&level(a)).then(a.cmp(&b)));
+
+    let mut ranks = vec![0u32; answers.len()];
+    for (rank0, &idx) in order.iter().enumerate() {
+        ranks[idx] = (rank0 + 1) as u32;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimq_catalog::{Schema, Value};
+
+    #[test]
+    fn jnd_preserves_presented_order_for_near_ties() {
+        let user = SimulatedUser {
+            seed: 1,
+            noise: 0.0,
+            irrelevance_cutoff: 0.0,
+            jnd: 0.2,
+        };
+        let query = t(0.5);
+        // Oracle sims 0.93 and 0.97 — indistinguishable at jnd 0.2 (same
+        // quantization level), so the user keeps the presented order even
+        // though #2 is "better".
+        let answers = vec![t(0.57), t(0.53)];
+        let ranks = simulate_user_ranks(&user, &schema(), &query, &answers, &oracle);
+        assert_eq!(ranks, vec![1, 2]);
+    }
+
+    fn schema() -> Schema {
+        Schema::builder("R").numeric("X").build().unwrap()
+    }
+
+    fn t(x: f64) -> Tuple {
+        Tuple::new(&schema(), vec![Value::num(x)]).unwrap()
+    }
+
+    /// Oracle: closeness on the single numeric attribute.
+    fn oracle(_: &Schema, a: &Tuple, b: &Tuple) -> f64 {
+        let xa = a.value(aimq_catalog::AttrId(0)).as_num().unwrap();
+        let xb = b.value(aimq_catalog::AttrId(0)).as_num().unwrap();
+        (1.0 - (xa - xb).abs()).max(0.0)
+    }
+
+    #[test]
+    fn noiseless_user_ranks_by_oracle() {
+        let user = SimulatedUser {
+            seed: 1,
+            noise: 0.0,
+            irrelevance_cutoff: 0.2,
+            jnd: 0.0,
+        };
+        let query = t(0.5);
+        // answers at distances 0.1, 0.3, 0.0 → oracle 0.9, 0.7, 1.0.
+        let answers = vec![t(0.6), t(0.8), t(0.5)];
+        let ranks = simulate_user_ranks(&user, &schema(), &query, &answers, &oracle);
+        assert_eq!(ranks, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn irrelevant_answers_get_rank_zero() {
+        let user = SimulatedUser {
+            seed: 1,
+            noise: 0.0,
+            irrelevance_cutoff: 0.5,
+            jnd: 0.0,
+        };
+        let query = t(0.0);
+        let answers = vec![t(0.1), t(0.9)]; // oracle 0.9, 0.1
+        let ranks = simulate_user_ranks(&user, &schema(), &query, &answers, &oracle);
+        assert_eq!(ranks, vec![1, 0]);
+    }
+
+    #[test]
+    fn same_seed_reproduces_same_judgment() {
+        let user = SimulatedUser {
+            seed: 9,
+            noise: 0.2,
+            irrelevance_cutoff: 0.3,
+            jnd: 0.05,
+        };
+        let query = t(0.5);
+        let answers: Vec<Tuple> = (0..6).map(|i| t(f64::from(i) / 6.0)).collect();
+        let a = simulate_user_ranks(&user, &schema(), &query, &answers, &oracle);
+        let b = simulate_user_ranks(&user, &schema(), &query, &answers, &oracle);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn panel_users_differ() {
+        let panel = SimulatedUser::panel(8, 42);
+        assert_eq!(panel.len(), 8);
+        let seeds: std::collections::HashSet<u64> = panel.iter().map(|u| u.seed).collect();
+        assert_eq!(seeds.len(), 8);
+    }
+
+    #[test]
+    fn relevant_ranks_are_dense_one_based() {
+        let user = SimulatedUser {
+            seed: 3,
+            noise: 0.05,
+            irrelevance_cutoff: 0.0,
+            jnd: 0.0,
+        };
+        let query = t(0.5);
+        let answers: Vec<Tuple> = (0..5).map(|i| t(f64::from(i) / 5.0)).collect();
+        let mut ranks = simulate_user_ranks(&user, &schema(), &query, &answers, &oracle);
+        ranks.sort_unstable();
+        assert_eq!(ranks, vec![1, 2, 3, 4, 5]);
+    }
+}

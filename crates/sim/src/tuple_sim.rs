@@ -1,0 +1,86 @@
+/// Numeric similarity between a query binding `q` and a tuple value `t`
+/// (Section 5 of the paper):
+///
+/// ```text
+/// sim = 1 − |q − t| / |q|        (clamped into [0, 1])
+/// ```
+///
+/// The paper clamps the *distance* at 1 "to maintain a lowerbound of 0 for
+/// numeric similarity"; we do the same. A zero query value gets an exact-
+/// match semantics (similarity 1 iff `t == 0`) because the relative
+/// distance is undefined there.
+pub fn numeric_similarity(q: f64, t: f64) -> f64 {
+    if q == t {
+        return 1.0;
+    }
+    if !q.is_finite() || !t.is_finite() {
+        return 0.0;
+    }
+    if q == 0.0 {
+        return 0.0; // t != q and relative distance undefined
+    }
+    let distance = ((q - t) / q).abs().min(1.0);
+    1.0 - distance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_match_is_one() {
+        assert_eq!(numeric_similarity(10000.0, 10000.0), 1.0);
+        assert_eq!(numeric_similarity(0.0, 0.0), 1.0);
+        assert_eq!(numeric_similarity(-5.0, -5.0), 1.0);
+    }
+
+    #[test]
+    fn paper_example_slightly_higher_price() {
+        // Camry priced 10500 vs query 10000: distance 0.05 → sim 0.95.
+        let s = numeric_similarity(10000.0, 10500.0);
+        assert!((s - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_clamped_at_one() {
+        // t more than 2× the query → raw distance > 1 → sim 0, not
+        // negative.
+        assert_eq!(numeric_similarity(10000.0, 25000.0), 0.0);
+        assert_eq!(numeric_similarity(10000.0, -5000.0), 0.0);
+    }
+
+    #[test]
+    fn zero_query_value() {
+        assert_eq!(numeric_similarity(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn non_finite_inputs_are_zero() {
+        assert_eq!(numeric_similarity(f64::NAN, 1.0), 0.0);
+        assert_eq!(numeric_similarity(1.0, f64::INFINITY), 0.0);
+    }
+
+    #[test]
+    fn symmetric_in_absolute_offset() {
+        let up = numeric_similarity(100.0, 110.0);
+        let down = numeric_similarity(100.0, 90.0);
+        assert!((up - down).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn always_in_unit_interval(q in -1e6f64..1e6, t in -1e6f64..1e6) {
+            let s = numeric_similarity(q, t);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn closer_is_more_similar(q in 1.0f64..1e6, d1 in 0.0f64..0.5, d2 in 0.5f64..1.0) {
+            // d1 < d2 as relative offsets from q.
+            let s1 = numeric_similarity(q, q * (1.0 + d1));
+            let s2 = numeric_similarity(q, q * (1.0 + d2));
+            prop_assert!(s1 >= s2);
+        }
+    }
+}

@@ -1,0 +1,301 @@
+use aimq_catalog::{AttrId, PredicateOp, SelectionQuery, Tuple};
+
+use crate::{Relation, RowId};
+
+/// Evaluate a boolean conjunctive selection over a relation, returning
+/// matching row ids in ascending order.
+///
+/// Access-path selection: the executor considers
+///
+/// * every equality predicate on a categorical attribute (inverted-index
+///   posting list), and
+/// * every numeric attribute's combined range bounds (sorted-index binary
+///   search),
+///
+/// drives from the smallest candidate set, and verifies the remaining
+/// predicates row by row. Queries with no indexable predicate fall back
+/// to a full scan. This mirrors what a form-based Web database does and
+/// keeps relaxation experiments fast: AIMQ's relaxed queries keep at
+/// least one selective constraint until the final steps.
+pub fn execute_rows(relation: &Relation, query: &SelectionQuery) -> Vec<RowId> {
+    enum Driver<'a> {
+        Categorical(&'a [RowId]),
+        Numeric(&'a [(f64, RowId)]),
+    }
+
+    let mut candidates: Vec<(usize, Driver)> = Vec::new();
+
+    // Categorical equality postings.
+    for p in query.predicates() {
+        if p.op != PredicateOp::Eq {
+            continue;
+        }
+        if let Some(cat) = p.value.as_cat() {
+            let rows = relation.rows_with_value(p.attr, cat);
+            candidates.push((rows.len(), Driver::Categorical(rows)));
+        }
+    }
+
+    // Numeric range bounds, combined per attribute.
+    let mut numeric_attrs: Vec<AttrId> = query
+        .predicates()
+        .iter()
+        .filter(|p| p.value.as_num().is_some())
+        .map(|p| p.attr)
+        .collect();
+    numeric_attrs.sort_unstable();
+    numeric_attrs.dedup();
+    for attr in numeric_attrs {
+        if let Some((lo, hi)) = combined_bounds(query, attr) {
+            let rows = relation.rows_in_range(attr, lo, hi);
+            candidates.push((rows.len(), Driver::Numeric(rows)));
+        }
+    }
+
+    let best = candidates.into_iter().min_by_key(|&(len, _)| len);
+
+    let verify = |row: RowId| query.matches(&relation.tuple(row));
+    match best {
+        Some((_, Driver::Categorical(rows))) => {
+            rows.iter().copied().filter(|&r| verify(r)).collect()
+        }
+        Some((_, Driver::Numeric(rows))) => {
+            let mut out: Vec<RowId> = rows
+                .iter()
+                .map(|&(_, r)| r)
+                .filter(|&r| verify(r))
+                .collect();
+            out.sort_unstable();
+            out
+        }
+        None => relation.rows().filter(|&r| verify(r)).collect(),
+    }
+}
+
+/// Conservative `[lo, hi)` bounds implied by `query`'s numeric predicates
+/// on `attr`. The driver only needs a *superset* of the matches (every
+/// predicate is re-verified), so `>`/`=`/`<=` are widened to the nearest
+/// half-open range.
+fn combined_bounds(query: &SelectionQuery, attr: AttrId) -> Option<(f64, f64)> {
+    let mut lo = f64::NEG_INFINITY;
+    let mut hi = f64::INFINITY;
+    let mut found = false;
+    for p in query.predicates() {
+        if p.attr != attr {
+            continue;
+        }
+        let Some(v) = p.value.as_num() else { continue };
+        found = true;
+        match p.op {
+            PredicateOp::Ge | PredicateOp::Gt => lo = lo.max(v),
+            PredicateOp::Lt => hi = hi.min(v),
+            PredicateOp::Le => hi = hi.min(v.next_up()),
+            PredicateOp::Eq => {
+                lo = lo.max(v);
+                hi = hi.min(v.next_up());
+            }
+        }
+    }
+    (found && lo <= hi).then_some((lo, hi))
+}
+
+/// Evaluate a selection and decode the matching tuples.
+pub fn execute(relation: &Relation, query: &SelectionQuery) -> Vec<Tuple> {
+    execute_rows(relation, query)
+        .into_iter()
+        .map(|r| relation.tuple(r))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimq_catalog::{AttrId, Predicate, Schema, Value};
+    use proptest::prelude::*;
+
+    fn relation() -> Relation {
+        let schema = Schema::builder("CarDB")
+            .categorical("Make")
+            .categorical("Model")
+            .numeric("Year")
+            .numeric("Price")
+            .build()
+            .unwrap();
+        let rows = [
+            ("Toyota", "Camry", 2000.0, 10000.0),
+            ("Toyota", "Camry", 1998.0, 7000.0),
+            ("Honda", "Accord", 2001.0, 11000.0),
+            ("Toyota", "Corolla", 2000.0, 8500.0),
+            ("Ford", "Focus", 2002.0, 9000.0),
+            ("Honda", "Civic", 1999.0, 6500.0),
+        ];
+        let tuples: Vec<Tuple> = rows
+            .iter()
+            .map(|&(mk, md, y, p)| {
+                Tuple::new(
+                    &schema,
+                    vec![Value::cat(mk), Value::cat(md), Value::num(y), Value::num(p)],
+                )
+                .unwrap()
+            })
+            .collect();
+        Relation::from_tuples(schema, &tuples).unwrap()
+    }
+
+    #[test]
+    fn equality_selection_uses_index() {
+        let r = relation();
+        let q = SelectionQuery::new(vec![Predicate::eq(AttrId(0), Value::cat("Toyota"))]);
+        assert_eq!(execute_rows(&r, &q), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn conjunction_of_categorical_and_numeric() {
+        let r = relation();
+        let q = SelectionQuery::new(vec![
+            Predicate::eq(AttrId(0), Value::cat("Toyota")),
+            Predicate {
+                attr: AttrId(3),
+                op: PredicateOp::Lt,
+                value: Value::num(9000.0),
+            },
+        ]);
+        assert_eq!(execute_rows(&r, &q), vec![1, 3]);
+    }
+
+    #[test]
+    fn numeric_only_query_uses_range_index() {
+        let r = relation();
+        let q = SelectionQuery::new(vec![Predicate {
+            attr: AttrId(2),
+            op: PredicateOp::Ge,
+            value: Value::num(2001.0),
+        }]);
+        assert_eq!(execute_rows(&r, &q), vec![2, 4]);
+    }
+
+    #[test]
+    fn numeric_band_query() {
+        let r = relation();
+        // Price in [7000, 9000) — the engine's bucket-band shape.
+        let q = SelectionQuery::new(vec![
+            Predicate {
+                attr: AttrId(3),
+                op: PredicateOp::Ge,
+                value: Value::num(7000.0),
+            },
+            Predicate {
+                attr: AttrId(3),
+                op: PredicateOp::Lt,
+                value: Value::num(9000.0),
+            },
+        ]);
+        assert_eq!(execute_rows(&r, &q), vec![1, 3]);
+    }
+
+    #[test]
+    fn numeric_equality_via_bounds() {
+        let r = relation();
+        let q = SelectionQuery::new(vec![Predicate::eq(AttrId(3), Value::num(8500.0))]);
+        assert_eq!(execute_rows(&r, &q), vec![3]);
+    }
+
+    #[test]
+    fn contradictory_bounds_return_empty() {
+        let r = relation();
+        let q = SelectionQuery::new(vec![
+            Predicate {
+                attr: AttrId(3),
+                op: PredicateOp::Ge,
+                value: Value::num(10000.0),
+            },
+            Predicate {
+                attr: AttrId(3),
+                op: PredicateOp::Lt,
+                value: Value::num(8000.0),
+            },
+        ]);
+        assert!(execute_rows(&r, &q).is_empty());
+    }
+
+    #[test]
+    fn empty_query_matches_everything() {
+        let r = relation();
+        assert_eq!(execute_rows(&r, &SelectionQuery::all()).len(), r.len());
+    }
+
+    #[test]
+    fn no_matches_is_empty_not_error() {
+        let r = relation();
+        let q = SelectionQuery::new(vec![Predicate::eq(AttrId(0), Value::cat("BMW"))]);
+        assert!(execute(&r, &q).is_empty());
+    }
+
+    #[test]
+    fn picks_most_selective_driver() {
+        let r = relation();
+        let q = SelectionQuery::new(vec![
+            Predicate::eq(AttrId(0), Value::cat("Toyota")),
+            Predicate::eq(AttrId(1), Value::cat("Camry")),
+        ]);
+        assert_eq!(execute_rows(&r, &q), vec![0, 1]);
+    }
+
+    #[test]
+    fn decoded_execute_matches_row_ids() {
+        let r = relation();
+        let q = SelectionQuery::new(vec![Predicate::eq(AttrId(0), Value::cat("Honda"))]);
+        let tuples = execute(&r, &q);
+        let rows = execute_rows(&r, &q);
+        assert_eq!(tuples.len(), rows.len());
+        for (t, &row) in tuples.iter().zip(&rows) {
+            assert_eq!(*t, r.tuple(row));
+        }
+    }
+
+    /// Reference implementation: full scan.
+    fn scan(r: &Relation, q: &SelectionQuery) -> Vec<RowId> {
+        r.rows().filter(|&i| q.matches(&r.tuple(i))).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn index_paths_agree_with_full_scan(
+            rows in prop::collection::vec((0u32..4, 0.0f64..100.0), 1..60),
+            make in 0u32..4,
+            lo in 0.0f64..100.0,
+            width in 0.0f64..60.0,
+            op_pick in 0u8..5,
+        ) {
+            let schema = Schema::builder("R")
+                .categorical("Make")
+                .numeric("Price")
+                .build()
+                .unwrap();
+            let tuples: Vec<Tuple> = rows
+                .iter()
+                .map(|&(m, p)| {
+                    Tuple::new(&schema, vec![Value::cat(format!("m{m}")), Value::num(p)])
+                        .unwrap()
+                })
+                .collect();
+            let r = Relation::from_tuples(schema, &tuples).unwrap();
+
+            let op = [PredicateOp::Ge, PredicateOp::Gt, PredicateOp::Le, PredicateOp::Lt, PredicateOp::Eq][op_pick as usize];
+            let q = SelectionQuery::new(vec![
+                Predicate::eq(AttrId(0), Value::cat(format!("m{make}"))),
+                Predicate { attr: AttrId(1), op, value: Value::num(lo) },
+                Predicate { attr: AttrId(1), op: PredicateOp::Lt, value: Value::num(lo + width) },
+            ]);
+            prop_assert_eq!(execute_rows(&r, &q), scan(&r, &q));
+
+            // Numeric-only query too (forces the range driver).
+            let q = SelectionQuery::new(vec![
+                Predicate { attr: AttrId(1), op, value: Value::num(lo) },
+            ]);
+            prop_assert_eq!(execute_rows(&r, &q), scan(&r, &q));
+        }
+    }
+}

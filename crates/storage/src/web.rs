@@ -1,0 +1,169 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use aimq_catalog::{Schema, SelectionQuery, Tuple};
+
+use crate::{execute, Relation};
+
+/// Access meter for a Web database: how many boolean queries were issued
+/// and how many tuples came back.
+///
+/// The paper's efficiency measure (Section 6.3),
+/// `Work/RelevantTuple = |T_Extracted| / |T_Relevant|`, needs exactly
+/// `tuples_returned`; `queries_issued` additionally lets the benchmarks
+/// report probing cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessStats {
+    /// Number of selection queries executed against the source.
+    pub queries_issued: u64,
+    /// Total number of tuples returned across all queries.
+    pub tuples_returned: u64,
+}
+
+/// The autonomous Web database interface of the paper (Section 3.1).
+///
+/// Implementations expose *only* the boolean query-processing model: given
+/// a conjunctive selection, return the satisfying tuples, unranked. AIMQ
+/// must work without altering the underlying data model — everything it
+/// learns, it learns by issuing queries through this trait.
+pub trait WebDatabase {
+    /// The relation schema the database projects (Web form fields).
+    fn schema(&self) -> &Schema;
+
+    /// Evaluate a boolean selection query and return all satisfying tuples.
+    fn query(&self, query: &SelectionQuery) -> Vec<Tuple>;
+
+    /// Snapshot of the access meter.
+    fn stats(&self) -> AccessStats;
+
+    /// Reset the access meter (used between experiment runs).
+    fn reset_stats(&self);
+}
+
+/// An in-memory [`WebDatabase`] over a [`Relation`], standing in for the
+/// paper's MySQL-backed Yahoo Autos / Census deployments.
+///
+/// Cloning shares the underlying relation *and* the meter.
+#[derive(Debug, Clone)]
+pub struct InMemoryWebDb {
+    relation: Arc<Relation>,
+    queries: Arc<AtomicU64>,
+    tuples: Arc<AtomicU64>,
+    /// Maximum tuples returned per query (`None` = unlimited). Real Web
+    /// form interfaces cap result pages; AIMQ must cope with truncation.
+    result_limit: Option<usize>,
+}
+
+impl InMemoryWebDb {
+    /// Wrap a relation.
+    pub fn new(relation: Relation) -> Self {
+        InMemoryWebDb {
+            relation: Arc::new(relation),
+            queries: Arc::new(AtomicU64::new(0)),
+            tuples: Arc::new(AtomicU64::new(0)),
+            result_limit: None,
+        }
+    }
+
+    /// Cap every query's result at `limit` tuples, simulating a form
+    /// interface that only serves the first page of matches.
+    #[must_use]
+    pub fn with_result_limit(mut self, limit: usize) -> Self {
+        self.result_limit = Some(limit);
+        self
+    }
+
+    /// Borrow the wrapped relation. Only evaluation/bench code uses this
+    /// (to draw ground-truth workloads); the AIMQ engine sticks to the
+    /// trait surface.
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+}
+
+impl WebDatabase for InMemoryWebDb {
+    fn schema(&self) -> &Schema {
+        self.relation.schema()
+    }
+
+    fn query(&self, query: &SelectionQuery) -> Vec<Tuple> {
+        let mut result = execute(&self.relation, query);
+        if let Some(limit) = self.result_limit {
+            result.truncate(limit);
+        }
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.tuples
+            .fetch_add(result.len() as u64, Ordering::Relaxed);
+        result
+    }
+
+    fn stats(&self) -> AccessStats {
+        AccessStats {
+            queries_issued: self.queries.load(Ordering::Relaxed),
+            tuples_returned: self.tuples.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset_stats(&self) {
+        self.queries.store(0, Ordering::Relaxed);
+        self.tuples.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimq_catalog::{AttrId, Predicate, Value};
+
+    fn db() -> InMemoryWebDb {
+        let schema = Schema::builder("R")
+            .categorical("Make")
+            .numeric("Price")
+            .build()
+            .unwrap();
+        let tuples: Vec<Tuple> = [("Toyota", 10000.0), ("Honda", 9000.0), ("Toyota", 7000.0)]
+            .iter()
+            .map(|&(m, p)| Tuple::new(&schema, vec![Value::cat(m), Value::num(p)]).unwrap())
+            .collect();
+        InMemoryWebDb::new(Relation::from_tuples(schema, &tuples).unwrap())
+    }
+
+    #[test]
+    fn boolean_query_model() {
+        let db = db();
+        let q = SelectionQuery::new(vec![Predicate::eq(AttrId(0), Value::cat("Toyota"))]);
+        let answers = db.query(&q);
+        assert_eq!(answers.len(), 2);
+        assert!(answers.iter().all(|t| q.matches(t)));
+    }
+
+    #[test]
+    fn meter_counts_queries_and_tuples() {
+        let db = db();
+        assert_eq!(db.stats(), AccessStats::default());
+        let q = SelectionQuery::new(vec![Predicate::eq(AttrId(0), Value::cat("Toyota"))]);
+        db.query(&q);
+        db.query(&SelectionQuery::all());
+        let s = db.stats();
+        assert_eq!(s.queries_issued, 2);
+        assert_eq!(s.tuples_returned, 2 + 3);
+        db.reset_stats();
+        assert_eq!(db.stats(), AccessStats::default());
+    }
+
+    #[test]
+    fn result_limit_truncates_pages() {
+        let db = db().with_result_limit(1);
+        let answers = db.query(&SelectionQuery::all());
+        assert_eq!(answers.len(), 1);
+        assert_eq!(db.stats().tuples_returned, 1);
+    }
+
+    #[test]
+    fn clones_share_meter() {
+        let db = db();
+        let db2 = db.clone();
+        db2.query(&SelectionQuery::all());
+        assert_eq!(db.stats().queries_issued, 1);
+    }
+}

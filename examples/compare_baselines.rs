@@ -1,0 +1,110 @@
+//! Head-to-head comparison of the three query-answering approaches the
+//! paper evaluates: AFD-guided relaxation (AIMQ), random relaxation, and
+//! the ROCK-cluster-based answerer — on the same imprecise query, with
+//! the latent oracle scoring each answer list.
+//!
+//! ```text
+//! cargo run --release --example compare_baselines
+//! ```
+
+use aimq_suite::afd::{BucketConfig, EncodedRelation};
+use aimq_suite::catalog::{ImpreciseQuery, Tuple};
+use aimq_suite::data::{car_oracle_similarity, CarDb};
+use aimq_suite::engine::{AimqSystem, EngineConfig, GuidedRelax, RandomRelax, TrainConfig};
+use aimq_suite::rock::{RockConfig, RockModel};
+use aimq_suite::storage::{InMemoryWebDb, WebDatabase};
+
+fn main() {
+    let db = InMemoryWebDb::new(CarDb::generate(30_000, 5));
+    let schema = db.schema().clone();
+
+    // Train both AIMQ variants on the same probe sample.
+    let sample = db.relation().random_sample(8_000, 1);
+    let mined_system = AimqSystem::train(&sample, &TrainConfig::default()).unwrap();
+    let uniform_system = AimqSystem::train(
+        &sample,
+        &TrainConfig {
+            use_uniform_importance: true,
+            ..TrainConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Fit ROCK on the full relation (2k clustering sample + labeling).
+    let enc = EncodedRelation::encode(db.relation(), &BucketConfig::for_schema(&schema));
+    let rock = RockModel::fit(
+        &enc,
+        RockConfig {
+            theta: 0.22,
+            target_clusters: 30,
+            sample_size: 2_000,
+            seed: 2,
+            min_cluster_size: 1,
+        },
+    );
+
+    // The query: a specific car from the database, used as an imprecise
+    // "find me cars like this one" request.
+    let query_row = 12_345.min(db.relation().len() as u32 - 1);
+    let query_tuple = db.relation().tuple(query_row);
+    let query = ImpreciseQuery::from_tuple(&query_tuple).unwrap();
+    println!("query tuple: {}\n", query_tuple.display_with(&schema));
+
+    let config = EngineConfig {
+        t_sim: 0.4,
+        top_k: 10,
+        max_relax_level: 3,
+        ..EngineConfig::default()
+    };
+
+    let show = |label: &str, answers: &[Tuple]| {
+        let oracle_avg: f64 = if answers.is_empty() {
+            0.0
+        } else {
+            answers
+                .iter()
+                .map(|t| car_oracle_similarity(&schema, &query_tuple, t))
+                .sum::<f64>()
+                / answers.len() as f64
+        };
+        println!("{label}: {} answers, oracle similarity {oracle_avg:.3}", answers.len());
+        for t in answers.iter().take(5) {
+            println!(
+                "  oracle={:.3}  {}",
+                car_oracle_similarity(&schema, &query_tuple, t),
+                t.display_with(&schema)
+            );
+        }
+        println!();
+    };
+
+    // 1. AIMQ: mined importance + guided relaxation.
+    let mut guided = GuidedRelax::new(mined_system.ordering().clone());
+    let answers: Vec<Tuple> = mined_system
+        .answer_with_strategy(&db, &query, &config, &mut guided)
+        .answers
+        .into_iter()
+        .map(|a| a.tuple)
+        .filter(|t| *t != query_tuple)
+        .collect();
+    show("GuidedRelax (AIMQ)", &answers);
+
+    // 2. RandomRelax with uniform importance (the paper's strawman).
+    let mut random = RandomRelax::new(9);
+    let answers: Vec<Tuple> = uniform_system
+        .answer_with_strategy(&db, &query, &config, &mut random)
+        .answers
+        .into_iter()
+        .map(|a| a.tuple)
+        .filter(|t| *t != query_tuple)
+        .collect();
+    show("RandomRelax (uniform importance)", &answers);
+
+    // 3. ROCK: answers come from the query tuple's cluster.
+    let answers: Vec<Tuple> = rock
+        .answer(query_row, 10)
+        .into_iter()
+        .map(|(row, _)| db.relation().tuple(row))
+        .collect();
+    show("ROCK (cluster members)", &answers);
+}

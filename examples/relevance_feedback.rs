@@ -1,0 +1,90 @@
+//! Relevance feedback in action (the extension planned in the paper's
+//! conclusion): a user keeps telling the system which of its answers are
+//! actually relevant, and the attribute weights adapt.
+//!
+//! Here the simulated user only cares about **price and year** — they
+//! judge answers by those alone — while the mined weights emphasize other
+//! attributes. Watch the tuner recover the user's priorities.
+//!
+//! ```text
+//! cargo run --release --example relevance_feedback
+//! ```
+
+use aimq_suite::catalog::{AttrId, ImpreciseQuery, Tuple};
+use aimq_suite::data::CarDb;
+use aimq_suite::engine::{AimqSystem, EngineConfig, FeedbackTuner, TrainConfig};
+use aimq_suite::storage::{InMemoryWebDb, WebDatabase};
+
+/// What this user actually cares about: price and year proximity.
+fn user_likes(query: &Tuple, answer: &Tuple) -> bool {
+    let price = |t: &Tuple| t.value(AttrId(3)).as_num().unwrap_or(0.0);
+    let year = |t: &Tuple| {
+        t.value(AttrId(2))
+            .as_cat()
+            .and_then(|y| y.parse::<i32>().ok())
+            .unwrap_or(0)
+    };
+    let price_close = (price(query) - price(answer)).abs() / price(query).max(1.0) < 0.05;
+    let year_close = (year(query) - year(answer)).abs() <= 1;
+    price_close && year_close
+}
+
+fn main() {
+    let db = InMemoryWebDb::new(CarDb::generate(30_000, 21));
+    let schema = db.schema().clone();
+    let sample = db.relation().random_sample(8_000, 1);
+    let system = AimqSystem::train(&sample, &TrainConfig::default()).unwrap();
+
+    // A query tuple and a wide candidate pool.
+    let query_tuple = db.relation().tuple(777);
+    let query = ImpreciseQuery::from_tuple(&query_tuple).unwrap();
+    println!("query: {}\n", query_tuple.display_with(&schema));
+
+    let pool: Vec<Tuple> = system
+        .answer(
+            &db,
+            &query,
+            &EngineConfig {
+                t_sim: 0.15,
+                top_k: 60,
+                max_relax_level: 3,
+                target_relevant: Some(100),
+                ..EngineConfig::default()
+            },
+        )
+        .answers
+        .into_iter()
+        .map(|a| a.tuple)
+        .filter(|t| *t != query_tuple)
+        .collect();
+    println!("candidate pool: {} tuples", pool.len());
+
+    let mut tuner = FeedbackTuner::new(system.model(), 0.5);
+    for round in 0..=5 {
+        let ranked = tuner.rerank(system.model(), &query, &pool);
+        let liked = ranked
+            .iter()
+            .take(10)
+            .filter(|a| user_likes(&query_tuple, &a.tuple))
+            .count();
+        let weights: Vec<String> = schema
+            .attr_ids()
+            .map(|a| format!("{}={:.2}", schema.attr_name(a), tuner.weight(a)))
+            .collect();
+        println!("round {round}: {liked}/10 liked | weights: {}", weights.join(" "));
+
+        // The user judges this round's top-10.
+        for answer in ranked.iter().take(10) {
+            let relevant = user_likes(&query_tuple, &answer.tuple);
+            tuner.observe(system.model(), &query, &answer.tuple, relevant);
+        }
+    }
+
+    let mined_price = system
+        .ordering()
+        .normalized_importance(&schema.attr_ids().collect::<Vec<_>>())[3];
+    println!(
+        "\nPrice weight: {mined_price:.2} (mined prior) → {:.2} (after feedback)",
+        tuner.weight(AttrId(3)),
+    );
+}

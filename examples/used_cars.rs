@@ -1,0 +1,155 @@
+//! Full used-car walkthrough: probe an autonomous source through its Web
+//! interface, inspect every mined artifact (AFDs, approximate keys,
+//! attribute ordering, supertuple-based value similarities) and answer a
+//! few imprecise queries — the end-to-end pipeline of the paper's
+//! Figure 1.
+//!
+//! ```text
+//! cargo run --release --example used_cars
+//! ```
+
+use aimq_suite::afd::TaneConfig;
+use aimq_suite::catalog::{ImpreciseQuery, Value};
+use aimq_suite::data::CarDb;
+use aimq_suite::engine::{AimqSystem, EngineConfig, TrainConfig};
+use aimq_suite::storage::{InMemoryWebDb, WebDatabase};
+
+fn main() {
+    let db = InMemoryWebDb::new(CarDb::generate(50_000, 7));
+    let schema = db.schema().clone();
+
+    // -- Data Collector: probe through the boolean Web interface with
+    //    spanning queries over Make (the form's select box).
+    let makes = CarDb::spanning_makes();
+    let system = AimqSystem::probe_and_train(
+        &db,
+        schema.attr_id("Make").unwrap(),
+        &makes,
+        10_000,
+        3,
+        &TrainConfig {
+            tane: TaneConfig::default(),
+            ..TrainConfig::default()
+        },
+    )
+    .expect("probing succeeds");
+    let probe_stats = db.stats();
+    println!(
+        "probed {} tuples with {} spanning queries",
+        probe_stats.tuples_returned, probe_stats.queries_issued
+    );
+
+    // -- Dependency Miner: what did TANE find?
+    let mined = system.mined();
+    println!(
+        "\nmined {} AFDs and {} approximate keys (Terr = {})",
+        mined.afds().len(),
+        mined.keys().len(),
+        TaneConfig::default().error_threshold
+    );
+    println!("strongest AFDs:");
+    let mut afds: Vec<_> = mined.afds().iter().collect();
+    afds.sort_by(|a, b| a.error.total_cmp(&b.error).then(a.lhs.len().cmp(&b.lhs.len())));
+    for afd in afds.iter().take(5) {
+        println!(
+            "  {} → {}  (support {:.3})",
+            afd.lhs.display_with(&schema),
+            schema.attr_name(afd.rhs),
+            afd.support()
+        );
+    }
+    if let Some(best) = mined.best_key() {
+        println!(
+            "best approximate key: {} (quality {:.3})",
+            best.attrs.display_with(&schema),
+            best.quality()
+        );
+    }
+
+    // -- Attribute ordering (Algorithm 2).
+    println!("\nattribute importance (Wimp):");
+    let ordering = system.ordering();
+    for &attr in ordering.relaxation_order() {
+        println!(
+            "  relax #{}: {:10}  Wimp={:.4}  Wtdepends={:.3}  Wtdecides={:.3}",
+            ordering.relax_position(attr),
+            schema.attr_name(attr),
+            ordering.importance(attr),
+            ordering.wt_depends(attr),
+            ordering.wt_decides(attr),
+        );
+    }
+
+    // -- Similarity Miner: who is Camry-like? Kia-like?
+    println!("\nmined value similarities:");
+    for (attr_name, value) in [("Model", "Camry"), ("Make", "Kia"), ("Year", "1995")] {
+        let attr = schema.attr_id(attr_name).unwrap();
+        if let Some(matrix) = system.model().matrix(attr) {
+            let top = matrix.top_similar(value, 3);
+            let rendered: Vec<String> = top
+                .iter()
+                .map(|(v, s)| format!("{v} ({s:.3})"))
+                .collect();
+            println!("  {attr_name}={value} ~ {}", rendered.join(", "));
+        }
+    }
+
+    // -- Query Engine: a few imprecise queries.
+    let queries = [
+        ("family sedan around $9k", {
+            ImpreciseQuery::builder(&schema)
+                .like("Model", Value::cat("Camry"))
+                .unwrap()
+                .like("Price", Value::num(9_000.0))
+                .unwrap()
+                .build()
+                .unwrap()
+        }),
+        ("cheap recent economy car", {
+            ImpreciseQuery::builder(&schema)
+                .like("Model", Value::cat("Civic"))
+                .unwrap()
+                .like("Year", Value::cat("2003"))
+                .unwrap()
+                .like("Price", Value::num(7_000.0))
+                .unwrap()
+                .build()
+                .unwrap()
+        }),
+        ("a Ford truck like the F150", {
+            ImpreciseQuery::builder(&schema)
+                .like("Make", Value::cat("Ford"))
+                .unwrap()
+                .like("Model", Value::cat("F150"))
+                .unwrap()
+                .build()
+                .unwrap()
+        }),
+    ];
+
+    for (label, query) in queries {
+        db.reset_stats();
+        let result = system.answer(
+            &db,
+            &query,
+            &EngineConfig {
+                t_sim: 0.5,
+                top_k: 5,
+                ..EngineConfig::default()
+            },
+        );
+        println!(
+            "\n[{label}] {} → {} answers ({} tuples examined):",
+            query.display_with(&schema),
+            result.answers.len(),
+            result.stats.tuples_examined
+        );
+        for answer in &result.answers {
+            println!(
+                "  sim={:.3}  {}",
+                answer.similarity,
+                answer.tuple.display_with(&schema)
+            );
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! End-to-end integration tests: the full AIMQ pipeline (probe → mine →
+//! order → estimate → answer) over the synthetic corpora, spanning every
+//! crate in the workspace.
+
+use aimq_suite::catalog::{AttrId, ImpreciseQuery, Value};
+use aimq_suite::data::CarDb;
+use aimq_suite::engine::{AimqSystem, EngineConfig, GuidedRelax, RandomRelax, TrainConfig};
+use aimq_suite::storage::{InMemoryWebDb, WebDatabase};
+
+fn car_db(n: usize, seed: u64) -> InMemoryWebDb {
+    InMemoryWebDb::new(CarDb::generate(n, seed))
+}
+
+fn train(db: &InMemoryWebDb, sample: usize) -> AimqSystem {
+    let sample = db.relation().random_sample(sample, 1);
+    AimqSystem::train(&sample, &TrainConfig::default()).expect("non-empty sample")
+}
+
+#[test]
+fn paper_running_example_returns_ranked_relevant_answers() {
+    let db = car_db(8_000, 42);
+    let system = train(&db, 2_000);
+    let schema = db.schema().clone();
+
+    let query = ImpreciseQuery::builder(&schema)
+        .like("Model", Value::cat("Camry"))
+        .unwrap()
+        .like("Price", Value::num(10_000.0))
+        .unwrap()
+        .build()
+        .unwrap();
+    let result = system.answer(
+        &db,
+        &query,
+        &EngineConfig {
+            t_sim: 0.5,
+            top_k: 10,
+            ..EngineConfig::default()
+        },
+    );
+
+    assert!(!result.answers.is_empty(), "the example query must answer");
+    // Descending ranking, similarity in [0, 1].
+    for w in result.answers.windows(2) {
+        assert!(w[0].similarity >= w[1].similarity);
+    }
+    for a in &result.answers {
+        assert!((0.0..=1.0 + 1e-9).contains(&a.similarity));
+        // Every answer satisfies nothing in particular syntactically —
+        // that's the point of imprecise answering — but Camrys must rank
+        // at the very top since exact matches exist.
+    }
+    assert_eq!(
+        result.answers[0].tuple.value(AttrId(1)).as_cat(),
+        Some("Camry")
+    );
+}
+
+#[test]
+fn base_query_generalizes_until_nonempty() {
+    let db = car_db(4_000, 7);
+    let system = train(&db, 1_000);
+    let schema = db.schema().clone();
+
+    // Unknown model: the exact base query is empty, so the engine must
+    // generalize Qpr along the mined order (paper footnote 2) until the
+    // price band alone yields a base set.
+    let query = ImpreciseQuery::builder(&schema)
+        .like("Model", Value::cat("DeLorean"))
+        .unwrap()
+        .like("Price", Value::num(8_000.0))
+        .unwrap()
+        .build()
+        .unwrap();
+    let result = system.answer(&db, &query, &EngineConfig::default());
+    assert!(
+        result.base_set_size > 0,
+        "generalization should recover a base set"
+    );
+    assert!(result.base_query.bound_attrs().len() < 2);
+}
+
+#[test]
+fn every_relaxation_query_passes_through_the_boolean_interface() {
+    let db = car_db(4_000, 9);
+    let system = train(&db, 1_000);
+    let schema = db.schema().clone();
+
+    db.reset_stats();
+    let query = ImpreciseQuery::builder(&schema)
+        .like("Make", Value::cat("Honda"))
+        .unwrap()
+        .like("Price", Value::num(8_000.0))
+        .unwrap()
+        .build()
+        .unwrap();
+    let result = system.answer(&db, &query, &EngineConfig::default());
+
+    let stats = db.stats();
+    assert_eq!(stats.queries_issued, result.stats.queries_issued);
+    assert_eq!(stats.tuples_returned, result.stats.tuples_extracted);
+    assert!(stats.queries_issued >= 1);
+}
+
+#[test]
+fn guided_and_random_agree_on_relevance_but_not_cost() {
+    let db = car_db(8_000, 21);
+    let system = train(&db, 2_000);
+    let query =
+        ImpreciseQuery::from_tuple(&db.relation().tuple(100)).expect("non-null tuple");
+    let config = EngineConfig {
+        t_sim: 0.7,
+        top_k: 10,
+        max_relax_level: 3,
+        target_relevant: Some(15),
+        ..EngineConfig::default()
+    };
+
+    let mut guided = GuidedRelax::new(system.ordering().clone());
+    let g = system.answer_with_strategy(&db, &query, &config, &mut guided);
+
+    let mut random = RandomRelax::new(5);
+    let r = system.answer_with_strategy(&db, &query, &config, &mut random);
+
+    // Both find relevant tuples for an in-database query tuple.
+    assert!(g.stats.relevant_found > 0);
+    assert!(r.stats.relevant_found > 0);
+    // The exact tuple itself is always among guided answers (sim 1).
+    assert!((g.answers[0].similarity - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn deterministic_end_to_end_given_seeds() {
+    let run = || {
+        let db = car_db(3_000, 3);
+        let system = train(&db, 800);
+        let query = ImpreciseQuery::from_tuple(&db.relation().tuple(42)).unwrap();
+        let result = system.answer(&db, &query, &EngineConfig::default());
+        result
+            .answers
+            .iter()
+            .map(|a| format!("{:?}:{:.6}", a.tuple, a.similarity))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn probing_pipeline_matches_direct_sampling_quality() {
+    let db = car_db(6_000, 13);
+    let schema = db.schema().clone();
+    let makes = CarDb::spanning_makes();
+    let probed = AimqSystem::probe_and_train(
+        &db,
+        schema.attr_id("Make").unwrap(),
+        &makes,
+        1_500,
+        1,
+        &TrainConfig::default(),
+    )
+    .expect("probing succeeds");
+
+    // The probed system produces the same structural conclusions as the
+    // direct-sample system: Make more dependent than Model.
+    let make = schema.attr_id("Make").unwrap();
+    let model = schema.attr_id("Model").unwrap();
+    assert!(probed.ordering().wt_depends(make) > probed.ordering().wt_depends(model));
+}

@@ -1,0 +1,213 @@
+//! Property tests on the full query engine: invariants that must hold
+//! for arbitrary small databases and arbitrary imprecise queries.
+
+use aimq_suite::catalog::{ImpreciseQuery, Schema, Tuple, Value};
+use aimq_suite::engine::{AimqSystem, EngineConfig, Provenance, TrainConfig};
+use aimq_suite::storage::{InMemoryWebDb, Relation};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::builder("R")
+        .categorical("A")
+        .categorical("B")
+        .numeric("X")
+        .build()
+        .unwrap()
+}
+
+/// Strategy: a random relation (2..80 rows over small domains) plus a
+/// random query (categorical binding + numeric binding).
+fn arb_case() -> impl Strategy<Value = (Relation, ImpreciseQuery)> {
+    (
+        prop::collection::vec((0u32..5, 0u32..4, 0.0f64..100.0), 2..80),
+        0u32..5,
+        0.0f64..100.0,
+    )
+        .prop_map(|(rows, qa, qx)| {
+            let schema = schema();
+            let tuples: Vec<Tuple> = rows
+                .iter()
+                .map(|&(a, b, x)| {
+                    Tuple::new(
+                        &schema,
+                        vec![
+                            Value::cat(format!("a{a}")),
+                            Value::cat(format!("b{b}")),
+                            Value::num(x),
+                        ],
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let relation = Relation::from_tuples(schema.clone(), &tuples).unwrap();
+            let query = ImpreciseQuery::builder(&schema)
+                .like("A", Value::cat(format!("a{qa}")))
+                .unwrap()
+                .like("X", Value::num(qx))
+                .unwrap()
+                .build()
+                .unwrap();
+            (relation, query)
+        })
+}
+
+fn answer(
+    relation: &Relation,
+    query: &ImpreciseQuery,
+    t_sim: f64,
+    top_k: usize,
+) -> (aimq_suite::engine::AnswerSet, InMemoryWebDb) {
+    let db = InMemoryWebDb::new(relation.clone());
+    let system = AimqSystem::train(relation, &TrainConfig::default()).unwrap();
+    let result = system.answer(
+        &db,
+        query,
+        &EngineConfig {
+            t_sim,
+            top_k,
+            max_relax_level: 2,
+            ..EngineConfig::default()
+        },
+    );
+    (result, db)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn answers_come_from_the_database((relation, query) in arb_case()) {
+        let (result, db) = answer(&relation, &query, 0.2, 50);
+        let all: Vec<Tuple> = db.relation().tuples().collect();
+        for a in &result.answers {
+            prop_assert!(all.contains(&a.tuple), "answer not in source relation");
+        }
+    }
+
+    #[test]
+    fn ranking_is_sorted_bounded_and_capped((relation, query) in arb_case()) {
+        let (result, _) = answer(&relation, &query, 0.3, 7);
+        prop_assert!(result.answers.len() <= 7);
+        for w in result.answers.windows(2) {
+            prop_assert!(w[0].similarity >= w[1].similarity);
+        }
+        for a in &result.answers {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&a.similarity));
+        }
+    }
+
+    #[test]
+    fn no_duplicate_answers((relation, query) in arb_case()) {
+        let (result, _) = answer(&relation, &query, 0.1, 100);
+        let mut seen = std::collections::HashSet::new();
+        for a in &result.answers {
+            prop_assert!(seen.insert(a.tuple.clone()), "duplicate answer");
+        }
+    }
+
+    #[test]
+    fn provenance_is_internally_consistent((relation, query) in arb_case()) {
+        let (result, _) = answer(&relation, &query, 0.2, 100);
+        for a in &result.answers {
+            match &a.provenance {
+                Provenance::BaseSet => {
+                    prop_assert!(result.base_query.matches(&a.tuple));
+                }
+                Provenance::Relaxed { base_index, relaxed_attrs } => {
+                    prop_assert!(*base_index < result.base_set_size);
+                    prop_assert!(!relaxed_attrs.is_empty());
+                    prop_assert!(relaxed_attrs.iter().all(|a| a.index() < 3));
+                }
+                Provenance::External => prop_assert!(false, "engine emitted External"),
+            }
+        }
+    }
+
+    #[test]
+    fn raising_the_threshold_never_finds_more((relation, query) in arb_case()) {
+        let (loose, _) = answer(&relation, &query, 0.2, 1000);
+        let (tight, _) = answer(&relation, &query, 0.8, 1000);
+        prop_assert!(tight.stats.relevant_found <= loose.stats.relevant_found);
+    }
+
+    #[test]
+    fn engine_is_deterministic((relation, query) in arb_case()) {
+        let (a, _) = answer(&relation, &query, 0.3, 20);
+        let (b, _) = answer(&relation, &query, 0.3, 20);
+        let key = |r: &aimq_suite::engine::AnswerSet| -> Vec<String> {
+            r.answers
+                .iter()
+                .map(|x| format!("{:?}|{:.9}", x.tuple, x.similarity))
+                .collect()
+        };
+        prop_assert_eq!(key(&a), key(&b));
+    }
+
+    #[test]
+    fn exact_match_query_puts_the_tuple_first((relation, _) in arb_case()) {
+        // Query a tuple that exists: it must rank first with similarity 1.
+        let target = relation.tuple(0);
+        let query = ImpreciseQuery::from_tuple(&target).unwrap();
+        let (result, _) = answer(&relation, &query, 0.2, 10);
+        prop_assert!(!result.answers.is_empty());
+        prop_assert!((result.answers[0].similarity - 1.0).abs() < 1e-9);
+        // The target itself is among the maximal-similarity answers.
+        let top_sim = result.answers[0].similarity;
+        prop_assert!(result
+            .answers
+            .iter()
+            .take_while(|a| (a.similarity - top_sim).abs() < 1e-9)
+            .any(|a| a.tuple == target));
+    }
+
+    #[test]
+    fn work_stats_are_coherent((relation, query) in arb_case()) {
+        let (result, db) = answer(&relation, &query, 0.3, 20);
+        // Examined tuples are distinct, so never more than the relation.
+        prop_assert!(result.stats.tuples_examined <= db.relation().len());
+        // Raw extraction counts duplicates, so it is at least examined.
+        prop_assert!(result.stats.tuples_extracted as usize >= result.stats.tuples_examined
+            || result.stats.tuples_extracted == 0);
+        // Relevant answers all come from examined tuples.
+        prop_assert!(result.stats.relevant_found <= result.stats.tuples_examined);
+    }
+}
+
+#[test]
+fn result_limited_interface_still_answers() {
+    // A form interface that only returns the first 3 matches per query:
+    // AIMQ degrades gracefully (fewer answers, no failures).
+    let schema = schema();
+    let tuples: Vec<Tuple> = (0..40)
+        .map(|i| {
+            Tuple::new(
+                &schema,
+                vec![
+                    Value::cat(format!("a{}", i % 3)),
+                    Value::cat(format!("b{}", i % 4)),
+                    Value::num(f64::from(i)),
+                ],
+            )
+            .unwrap()
+        })
+        .collect();
+    let relation = Relation::from_tuples(schema.clone(), &tuples).unwrap();
+    let db = InMemoryWebDb::new(relation.clone()).with_result_limit(3);
+    let system = AimqSystem::train(&relation, &TrainConfig::default()).unwrap();
+    let query = ImpreciseQuery::builder(&schema)
+        .like("A", Value::cat("a1"))
+        .unwrap()
+        .build()
+        .unwrap();
+    let result = system.answer(
+        &db,
+        &query,
+        &EngineConfig {
+            t_sim: 0.2,
+            ..EngineConfig::default()
+        },
+    );
+    assert!(!result.answers.is_empty());
+    // Every single query returned at most 3 tuples.
+    assert!(result.stats.tuples_extracted <= 3 * result.stats.queries_issued);
+}

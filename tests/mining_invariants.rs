@@ -1,0 +1,157 @@
+//! Cross-crate property tests on the mining pipeline: invariants that
+//! must hold for *any* relation, checked on randomly generated corpora.
+
+use aimq_suite::afd::{
+    AttrSet, AttributeOrdering, BucketConfig, EncodedRelation, MinedDependencies, TaneConfig,
+};
+use aimq_suite::catalog::{AttrId, Schema, Tuple, Value};
+use aimq_suite::storage::Relation;
+use proptest::prelude::*;
+
+/// Random small relation over 4 categorical attributes with controlled
+/// domain sizes.
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    let schema = || {
+        Schema::builder("R")
+            .categorical("A")
+            .categorical("B")
+            .categorical("C")
+            .categorical("D")
+            .build()
+            .unwrap()
+    };
+    prop::collection::vec((0u32..4, 0u32..3, 0u32..5, 0u32..2), 1..120).prop_map(move |rows| {
+        let schema = schema();
+        let tuples: Vec<Tuple> = rows
+            .iter()
+            .map(|&(a, b, c, d)| {
+                Tuple::new(
+                    &schema,
+                    vec![
+                        Value::cat(format!("a{a}")),
+                        Value::cat(format!("b{b}")),
+                        Value::cat(format!("c{c}")),
+                        Value::cat(format!("d{d}")),
+                    ],
+                )
+                .unwrap()
+            })
+            .collect();
+        Relation::from_tuples(schema, &tuples).unwrap()
+    })
+}
+
+fn mine(relation: &Relation, threshold: f64) -> MinedDependencies {
+    let enc = EncodedRelation::encode(relation, &BucketConfig::for_schema(relation.schema()));
+    MinedDependencies::mine(
+        &enc,
+        &TaneConfig {
+            error_threshold: threshold,
+            max_lhs_size: 3,
+            max_key_size: 4,
+            prune_superkeys: false,
+        },
+    )
+}
+
+/// Brute-force g3 error of X→A on a relation.
+fn brute_afd_error(relation: &Relation, lhs: AttrSet, rhs: AttrId) -> f64 {
+    use std::collections::HashMap;
+    let n = relation.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut groups: HashMap<Vec<String>, HashMap<String, usize>> = HashMap::new();
+    for t in relation.tuples() {
+        let key: Vec<String> = lhs
+            .iter()
+            .map(|a| t.value(a).to_string())
+            .collect();
+        let v = t.value(rhs).to_string();
+        *groups.entry(key).or_default().entry(v).or_default() += 1;
+    }
+    let removed: usize = groups
+        .values()
+        .map(|counts| {
+            let total: usize = counts.values().sum();
+            total - counts.values().copied().max().unwrap_or(0)
+        })
+        .sum();
+    removed as f64 / n as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mined_afd_errors_match_brute_force(relation in arb_relation()) {
+        let mined = mine(&relation, 0.6);
+        for afd in mined.afds().iter().take(30) {
+            let brute = brute_afd_error(&relation, afd.lhs, afd.rhs);
+            prop_assert!(
+                (afd.error - brute).abs() < 1e-9,
+                "AFD {:?}→{:?}: mined {} brute {}",
+                afd.lhs, afd.rhs, afd.error, brute
+            );
+        }
+    }
+
+    #[test]
+    fn mined_keys_respect_distinct_counts(relation in arb_relation()) {
+        let mined = mine(&relation, 0.6);
+        for key in mined.keys().iter().take(30) {
+            // error = (n - distinct)/n by definition of g3 for keys.
+            let mut projections: Vec<Vec<String>> = relation
+                .tuples()
+                .map(|t| key.attrs.iter().map(|a| t.value(a).to_string()).collect())
+                .collect();
+            projections.sort();
+            projections.dedup();
+            let expected = (relation.len() - projections.len()) as f64 / relation.len() as f64;
+            prop_assert!((key.error - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn widening_the_threshold_only_adds_dependencies(relation in arb_relation()) {
+        let tight = mine(&relation, 0.1);
+        let loose = mine(&relation, 0.5);
+        for afd in tight.afds() {
+            prop_assert!(
+                loose.afds().iter().any(|l| l.lhs == afd.lhs && l.rhs == afd.rhs),
+                "AFD lost when widening threshold"
+            );
+        }
+        for key in tight.keys() {
+            prop_assert!(loose.keys().iter().any(|l| l.attrs == key.attrs));
+        }
+    }
+
+    #[test]
+    fn ordering_covers_schema_exactly_once(relation in arb_relation()) {
+        let mined = mine(&relation, 0.4);
+        let ordering = AttributeOrdering::derive(relation.schema(), &mined).unwrap();
+        let mut order: Vec<usize> = ordering
+            .relaxation_order()
+            .iter()
+            .map(|a| a.index())
+            .collect();
+        order.sort_unstable();
+        prop_assert_eq!(order, vec![0, 1, 2, 3]);
+        // Deciding and dependent partition the schema.
+        let all = AttrSet::from_attrs(relation.schema().attr_ids());
+        prop_assert_eq!(ordering.deciding().union(ordering.dependent()), all);
+        prop_assert!(ordering.deciding().intersect(ordering.dependent()).is_empty());
+    }
+
+    #[test]
+    fn normalized_importance_is_a_distribution(relation in arb_relation()) {
+        let mined = mine(&relation, 0.4);
+        let ordering = AttributeOrdering::derive(relation.schema(), &mined).unwrap();
+        let attrs: Vec<AttrId> = relation.schema().attr_ids().collect();
+        let w = ordering.normalized_importance(&attrs);
+        let sum: f64 = w.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "sum {}", sum);
+        prop_assert!(w.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+    }
+}

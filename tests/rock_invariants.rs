@@ -1,0 +1,138 @@
+//! Property tests on the ROCK baseline: structural invariants of the
+//! clustering and labeling phases over random categorical relations.
+
+use aimq_suite::afd::{BucketConfig, EncodedRelation};
+use aimq_suite::catalog::{Schema, Tuple, Value};
+use aimq_suite::rock::{RockConfig, RockModel};
+use aimq_suite::storage::Relation;
+use proptest::prelude::*;
+
+fn encoded(rows: &[(u32, u32, u32)]) -> EncodedRelation {
+    let schema = Schema::builder("R")
+        .categorical("A")
+        .categorical("B")
+        .categorical("C")
+        .build()
+        .unwrap();
+    let tuples: Vec<Tuple> = rows
+        .iter()
+        .map(|&(a, b, c)| {
+            Tuple::new(
+                &schema,
+                vec![
+                    Value::cat(format!("a{a}")),
+                    Value::cat(format!("b{b}")),
+                    Value::cat(format!("c{c}")),
+                ],
+            )
+            .unwrap()
+        })
+        .collect();
+    let relation = Relation::from_tuples(schema.clone(), &tuples).unwrap();
+    EncodedRelation::encode(&relation, &BucketConfig::for_schema(&schema))
+}
+
+fn fit(rows: &[(u32, u32, u32)], theta: f64, sample: usize) -> RockModel {
+    RockModel::fit(
+        &encoded(rows),
+        RockConfig {
+            theta,
+            target_clusters: 3,
+            sample_size: sample,
+            seed: 11,
+            min_cluster_size: 1,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn clusters_partition_the_assigned_rows(
+        rows in prop::collection::vec((0u32..3, 0u32..3, 0u32..4), 4..60),
+        theta in 0.2f64..0.7,
+    ) {
+        let model = fit(&rows, theta, rows.len() / 2 + 1);
+        // Every clustered row appears in exactly one cluster, and the
+        // assignment map agrees with cluster membership.
+        let mut seen = std::collections::HashSet::new();
+        for (cid, members) in model.clusters().iter().enumerate() {
+            for &row in members {
+                prop_assert!(seen.insert(row), "row {row} in two clusters");
+                prop_assert_eq!(model.assignment(row), Some(cid as u32));
+            }
+        }
+        for row in 0..rows.len() as u32 {
+            match model.assignment(row) {
+                Some(cid) => prop_assert!(model.clusters()[cid as usize].contains(&row)),
+                None => prop_assert!(!seen.contains(&row)),
+            }
+        }
+    }
+
+    #[test]
+    fn answers_stay_within_the_cluster_and_are_ranked(
+        rows in prop::collection::vec((0u32..3, 0u32..3, 0u32..4), 4..60),
+    ) {
+        let model = fit(&rows, 0.3, rows.len());
+        for row in 0..rows.len() as u32 {
+            let answers = model.answer(row, 5);
+            prop_assert!(answers.len() <= 5);
+            let cid = model.assignment(row);
+            for w in answers.windows(2) {
+                prop_assert!(w[0].1 >= w[1].1);
+            }
+            for &(other, sim) in &answers {
+                prop_assert_ne!(other, row, "answer includes the query row");
+                prop_assert_eq!(model.assignment(other), cid);
+                prop_assert!((0.0..=1.0).contains(&sim));
+            }
+        }
+    }
+
+    #[test]
+    fn fitting_is_deterministic(
+        rows in prop::collection::vec((0u32..3, 0u32..3, 0u32..4), 4..40),
+    ) {
+        let a = fit(&rows, 0.3, rows.len() / 2 + 1);
+        let b = fit(&rows, 0.3, rows.len() / 2 + 1);
+        prop_assert_eq!(a.clusters(), b.clusters());
+    }
+
+    #[test]
+    fn identical_tuples_merge_into_one_cluster(
+        base in (0u32..3, 0u32..3, 0u32..4),
+        copies in 3usize..8,
+    ) {
+        // Three or more duplicates are all pairwise linked (every third
+        // copy is a common neighbor of the other two), so with an
+        // unlimited merge budget ROCK must collapse them into a single
+        // cluster. Note the ROCK subtlety this test documents: *two*
+        // isolated twins never merge — they have no common neighbor, so
+        // their link count is zero.
+        let rows = vec![base; copies];
+        let model = RockModel::fit(
+            &encoded(&rows),
+            RockConfig {
+                theta: 0.5,
+                target_clusters: 1,
+                sample_size: rows.len(),
+                seed: 11,
+                min_cluster_size: 1,
+            },
+        );
+        prop_assert_eq!(model.clusters().len(), 1);
+        prop_assert_eq!(model.clusters()[0].len(), copies);
+    }
+
+    #[test]
+    fn two_isolated_twins_stay_singletons(
+        base in (0u32..3, 0u32..3, 0u32..4),
+    ) {
+        let rows = vec![base; 2];
+        let model = fit(&rows, 0.5, 2);
+        // No common neighbor → link count 0 → no merge.
+        prop_assert_eq!(model.clusters().len(), 2);
+    }
+}

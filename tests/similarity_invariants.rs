@@ -1,0 +1,123 @@
+//! Cross-crate property tests on the similarity model: `VSim`/`Sim`
+//! invariants that must hold for any mined relation.
+
+use aimq_suite::afd::{AttributeOrdering, BucketConfig};
+use aimq_suite::catalog::{AttrId, ImpreciseQuery, Schema, Tuple, Value};
+use aimq_suite::sim::{SimConfig, SimilarityModel};
+use aimq_suite::storage::Relation;
+use proptest::prelude::*;
+
+fn arb_relation() -> impl Strategy<Value = (Relation, Vec<(u32, u32, u32)>)> {
+    prop::collection::vec((0u32..5, 0u32..4, 0u32..3), 2..100).prop_map(|rows| {
+        let schema = Schema::builder("R")
+            .categorical("X")
+            .categorical("Y")
+            .categorical("Z")
+            .build()
+            .unwrap();
+        let tuples: Vec<Tuple> = rows
+            .iter()
+            .map(|&(x, y, z)| {
+                Tuple::new(
+                    &schema,
+                    vec![
+                        Value::cat(format!("x{x}")),
+                        Value::cat(format!("y{y}")),
+                        Value::cat(format!("z{z}")),
+                    ],
+                )
+                .unwrap()
+            })
+            .collect();
+        (Relation::from_tuples(schema, &tuples).unwrap(), rows)
+    })
+}
+
+fn model_for(relation: &Relation) -> SimilarityModel {
+    let ordering = AttributeOrdering::uniform(relation.schema()).unwrap();
+    SimilarityModel::build(
+        relation,
+        &ordering,
+        &SimConfig {
+            bucket: BucketConfig::for_schema(relation.schema()),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn vsim_is_symmetric_bounded_and_reflexive((relation, rows) in arb_relation()) {
+        let model = model_for(&relation);
+        let distinct_x: Vec<String> = {
+            let mut v: Vec<String> = rows.iter().map(|r| format!("x{}", r.0)).collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        for a in &distinct_x {
+            prop_assert_eq!(model.value_similarity(AttrId(0), a, a), 1.0);
+            for b in &distinct_x {
+                let ab = model.value_similarity(AttrId(0), a, b);
+                let ba = model.value_similarity(AttrId(0), b, a);
+                prop_assert!((ab - ba).abs() < 1e-12);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&ab), "vsim {}", ab);
+            }
+        }
+    }
+
+    #[test]
+    fn query_similarity_bounded_and_exact_match_maximal((relation, _) in arb_relation()) {
+        let model = model_for(&relation);
+        let first = relation.tuple(0);
+        let query = ImpreciseQuery::from_tuple(&first).unwrap();
+        // The tuple itself scores 1.
+        prop_assert!((model.query_similarity(&query, &first) - 1.0).abs() < 1e-9);
+        // Everything scores within [0, 1] and no tuple beats the exact match.
+        for t in relation.tuples() {
+            let s = model.query_similarity(&query, &t);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&s));
+        }
+    }
+
+    #[test]
+    fn tuple_similarity_agrees_with_query_similarity((relation, _) in arb_relation()) {
+        // Treating a tuple as a query must equal tuple_similarity over
+        // its bound attributes.
+        let model = model_for(&relation);
+        let base = relation.tuple(0);
+        let query = ImpreciseQuery::from_tuple(&base).unwrap();
+        let attrs: Vec<AttrId> = relation.schema().attr_ids().collect();
+        for t in relation.tuples().take(20) {
+            let a = model.query_similarity(&query, &t);
+            let b = model.tuple_similarity(&base, &t, &attrs);
+            prop_assert!((a - b).abs() < 1e-9, "query {} vs tuple {}", a, b);
+        }
+    }
+
+    #[test]
+    fn more_shared_values_never_hurt_similarity((relation, _) in arb_relation()) {
+        // For a fixed query, a tuple agreeing on a superset of attributes
+        // (equal values where the other differs, identical elsewhere)
+        // scores at least as high.
+        let model = model_for(&relation);
+        let base = relation.tuple(0);
+        let query = ImpreciseQuery::from_tuple(&base).unwrap();
+        let schema = relation.schema().clone();
+        for t in relation.tuples().take(10) {
+            // Build t' = t with attribute 0 replaced by the query's value.
+            let mut values = t.values().to_vec();
+            values[0] = base.value(AttrId(0)).clone();
+            let closer = Tuple::new(&schema, values).unwrap();
+            let s_t = model.query_similarity(&query, &t);
+            let s_closer = model.query_similarity(&query, &closer);
+            prop_assert!(
+                s_closer + 1e-9 >= s_t,
+                "agreeing on one more attribute lowered similarity: {} -> {}",
+                s_t,
+                s_closer
+            );
+        }
+    }
+}
