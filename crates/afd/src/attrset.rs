@@ -47,9 +47,7 @@ impl AttrSet {
 
     /// Build from an iterator of attribute ids.
     pub fn from_attrs(attrs: impl IntoIterator<Item = AttrId>) -> Self {
-        attrs
-            .into_iter()
-            .fold(AttrSet::EMPTY, |s, a| s.with(a))
+        attrs.into_iter().fold(AttrSet::EMPTY, |s, a| s.with(a))
     }
 
     /// This set plus `attr`.

@@ -75,20 +75,25 @@ impl EncodedRelation {
             let col = relation.column(attr);
             match schema.domain(attr) {
                 Domain::Categorical => {
+                    // aimq-lint: allow(panic) -- Relation construction pairs Categorical schema domains with dictionary-encoded columns
                     let codes = col.codes().expect("categorical column").to_vec();
                     let card = col.dictionary().map_or(0, aimq_storage::Dictionary::len);
                     columns.push(codes);
                     cardinalities.push(card);
                 }
                 Domain::Numeric => {
+                    // aimq-lint: allow(panic) -- Relation construction pairs Numeric schema domains with f64 columns
                     let values = col.numbers().expect("numeric column");
-                    let spec = config.spec(attr).unwrap_or_else(|| {
-                        default_spec(values, config.default_buckets)
-                    });
+                    let spec = config
+                        .spec(attr)
+                        .unwrap_or_else(|| default_spec(values, config.default_buckets));
                     used_specs[attr.index()] = Some(spec);
                     // Bucket, then re-map the sparse bucket indices to
                     // dense codes so partitions can use Vec-based tables.
-                    let mut remap = std::collections::HashMap::new();
+                    // Codes are assigned in first-appearance row order; a
+                    // BTreeMap keeps even the map's own iteration
+                    // deterministic for the determinism lint.
+                    let mut remap = std::collections::BTreeMap::new();
                     let codes: Vec<u32> = values
                         .iter()
                         .map(|&v| {
@@ -198,8 +203,8 @@ mod tests {
     #[test]
     fn numeric_bucketing_with_explicit_spec() {
         let r = relation();
-        let cfg = BucketConfig::for_schema(r.schema())
-            .with_spec(AttrId(1), BucketSpec::width(5000.0));
+        let cfg =
+            BucketConfig::for_schema(r.schema()).with_spec(AttrId(1), BucketSpec::width(5000.0));
         let enc = EncodedRelation::encode(&r, &cfg);
         let codes = enc.codes(AttrId(1));
         // 1000 and 1200 share bucket 0; 5500 and 9900 share bucket 1.

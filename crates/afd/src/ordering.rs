@@ -129,8 +129,7 @@ impl AttributeOrdering {
             let mut attrs: Vec<AttrId> = set.iter().collect();
             attrs.sort_by(|&a, &b| {
                 weights[a.index()]
-                    .partial_cmp(&weights[b.index()])
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .total_cmp(&weights[b.index()])
                     .then(a.cmp(&b))
             });
             attrs
@@ -207,11 +206,7 @@ impl AttributeOrdering {
         }
 
         let mut relax_order: Vec<AttrId> = schema.attr_ids().collect();
-        relax_order.sort_by(|&a, &b| {
-            counts[a.index()]
-                .cmp(&counts[b.index()])
-                .then(a.cmp(&b))
-        });
+        relax_order.sort_by(|&a, &b| counts[a.index()].cmp(&counts[b.index()]).then(a.cmp(&b)));
 
         let total_bindings: usize = counts.iter().sum();
         let importance: Vec<f64> = if total_bindings == 0 {
@@ -310,6 +305,7 @@ impl AttributeOrdering {
             .iter()
             .position(|&a| a == attr)
             .map(|p| p + 1)
+            // aimq-lint: allow(panic) -- relax_order is a permutation of the schema's attributes; only an AttrId minted for a different schema can miss, a caller contract violation worth surfacing loudly
             .expect("attribute belongs to ordering's schema")
     }
 
@@ -411,7 +407,7 @@ pub fn combinations_in_order(order: &[AttrId], level: usize) -> Vec<Vec<AttrId>>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Afd, AKey, BucketConfig, EncodedRelation, MinedDependencies, TaneConfig};
+    use crate::{AKey, Afd, BucketConfig, EncodedRelation, MinedDependencies, TaneConfig};
     use aimq_catalog::{Schema, Tuple, Value};
     use aimq_storage::Relation;
 
@@ -498,11 +494,7 @@ mod tests {
         // The most important attribute (last relaxed) has the largest Wimp.
         let max_attr = (0..4)
             .map(AttrId)
-            .max_by(|&a, &b| {
-                ord.importance(a)
-                    .partial_cmp(&ord.importance(b))
-                    .unwrap()
-            })
+            .max_by(|&a, &b| ord.importance(a).partial_cmp(&ord.importance(b)).unwrap())
             .unwrap();
         assert_eq!(max_attr, AttrId(2));
     }

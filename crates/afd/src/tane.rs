@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use aimq_catalog::AttrId;
 use serde::{Deserialize, Serialize};
@@ -99,7 +99,10 @@ impl MinedDependencies {
     /// `GetAFDs(R, r)` / `GetAKeys(R, r)` pair (Algorithm 2, steps 1–2).
     pub fn mine(relation: &EncodedRelation, config: &TaneConfig) -> Self {
         let n_attrs = relation.n_attrs();
-        let max_level = config.max_lhs_size.saturating_add(1).max(config.max_key_size);
+        let max_level = config
+            .max_lhs_size
+            .saturating_add(1)
+            .max(config.max_key_size);
         let max_level = max_level.min(n_attrs);
 
         let mut afds = Vec::new();
@@ -110,7 +113,7 @@ impl MinedDependencies {
         let singletons: Vec<Partition> = (0..n_attrs)
             .map(|i| Partition::from_codes(relation.codes(AttrId(i))))
             .collect();
-        let mut current: HashMap<AttrSet, Partition> = singletons
+        let mut current: BTreeMap<AttrSet, Partition> = singletons
             .iter()
             .enumerate()
             .map(|(i, p)| (AttrSet::singleton(AttrId(i)), p.clone()))
@@ -134,17 +137,15 @@ impl MinedDependencies {
             // Generate the next level: X ∪ {a} for a beyond X's largest
             // attribute, combining the partitions of two level-`level`
             // parents.
-            let mut next: HashMap<AttrSet, Partition> = HashMap::new();
+            let mut next: BTreeMap<AttrSet, Partition> = BTreeMap::new();
             for (&set, partition) in &current {
                 if config.prune_superkeys && partition.is_unique() {
                     continue;
                 }
-                let max_attr = set.iter().last().expect("non-empty lattice node");
-                for (a, a_partition) in singletons
-                    .iter()
-                    .enumerate()
-                    .skip(max_attr.index() + 1)
-                {
+                let Some(max_attr) = set.iter().last() else {
+                    continue; // lattice nodes are non-empty by construction
+                };
+                for (a, a_partition) in singletons.iter().enumerate().skip(max_attr.index() + 1) {
                     let attr = AttrId(a);
                     let child = set.with(attr);
                     if next.contains_key(&child) {
@@ -173,7 +174,9 @@ impl MinedDependencies {
             }
         }
 
-        // Deterministic output order regardless of hash-map iteration.
+        // Sorted output order: the BTreeMap lattice already iterates in
+        // AttrSet order, but sorting keeps `mine` and `from_parts`
+        // byte-identical in what they promise.
         afds.sort_by_key(|a| (a.lhs, a.rhs));
         afds.dedup_by(|a, b| a.lhs == b.lhs && a.rhs == b.rhs);
         keys.sort_by_key(|a| a.attrs);
@@ -261,8 +264,7 @@ impl MinedDependencies {
     pub fn best_key(&self) -> Option<&AKey> {
         self.keys.iter().min_by(|a, b| {
             b.quality()
-                .partial_cmp(&a.quality())
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&a.quality())
                 .then(a.attrs.len().cmp(&b.attrs.len()))
                 .then(a.attrs.cmp(&b.attrs))
         })
@@ -273,8 +275,7 @@ impl MinedDependencies {
     pub fn best_key_by_support(&self) -> Option<&AKey> {
         self.keys.iter().min_by(|a, b| {
             b.support()
-                .partial_cmp(&a.support())
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&a.support())
                 .then(a.attrs.len().cmp(&b.attrs.len()))
                 .then(a.attrs.cmp(&b.attrs))
         })
@@ -310,11 +311,7 @@ mod tests {
         let tuples: Vec<Tuple> = rows
             .iter()
             .map(|&(mk, md, c)| {
-                Tuple::new(
-                    &schema,
-                    vec![Value::cat(mk), Value::cat(md), Value::cat(c)],
-                )
-                .unwrap()
+                Tuple::new(&schema, vec![Value::cat(mk), Value::cat(md), Value::cat(c)]).unwrap()
             })
             .collect();
         Relation::from_tuples(schema, &tuples).unwrap()

@@ -13,5 +13,8 @@ fn main() {
             result.missing_in(i)
         );
     }
-    println!("Best key stable across samples: {}", result.best_key_stable());
+    println!(
+        "Best key stable across samples: {}",
+        result.best_key_stable()
+    );
 }

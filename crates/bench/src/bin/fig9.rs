@@ -10,5 +10,8 @@ fn main() {
         "avg answers per query: AIMQ {:.1}, ROCK {:.1}",
         result.avg_aimq_answers, result.avg_rock_answers
     );
-    println!("AIMQ dominates ROCK at every k: {}", result.aimq_dominates());
+    println!(
+        "AIMQ dominates ROCK at every k: {}",
+        result.aimq_dominates()
+    );
 }

@@ -49,13 +49,19 @@ impl fmt::Display for CatalogError {
                 write!(f, "unknown attribute `{name}`")
             }
             CatalogError::AttrIdOutOfRange { attr, len } => {
-                write!(f, "attribute id {attr} out of range for schema with {len} attributes")
+                write!(
+                    f,
+                    "attribute id {attr} out of range for schema with {len} attributes"
+                )
             }
             CatalogError::DuplicateAttribute(name) => {
                 write!(f, "duplicate attribute `{name}` in schema")
             }
             CatalogError::ArityMismatch { expected, actual } => {
-                write!(f, "tuple arity {actual} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "tuple arity {actual} does not match schema arity {expected}"
+                )
             }
             CatalogError::DomainMismatch {
                 attribute,
@@ -66,7 +72,10 @@ impl fmt::Display for CatalogError {
                 "attribute `{attribute}` expects {expected} values but got a {actual} value"
             ),
             CatalogError::InvalidOperator { attribute, op } => {
-                write!(f, "operator `{op}` is not valid for attribute `{attribute}`")
+                write!(
+                    f,
+                    "operator `{op}` is not valid for attribute `{attribute}`"
+                )
             }
             CatalogError::EmptyQuery => write!(f, "query binds no attributes"),
         }

@@ -29,6 +29,7 @@ mod bucket;
 mod error;
 mod query;
 mod schema;
+mod score;
 mod tuple;
 mod value;
 
@@ -36,6 +37,7 @@ pub use bucket::BucketSpec;
 pub use error::CatalogError;
 pub use query::{ImpreciseQuery, Predicate, PredicateOp, SelectionQuery};
 pub use schema::{AttrId, Attribute, Domain, Schema, SchemaBuilder};
+pub use score::OrderedScore;
 pub use tuple::Tuple;
 pub use value::Value;
 

@@ -88,13 +88,10 @@ impl Predicate {
         let tv = tuple.value(self.attr);
         match (self.op, tv, &self.value) {
             (PredicateOp::Eq, tv, qv) => !tv.is_null() && tv == qv,
-            (op, Value::Num(t), Value::Num(q)) => match op {
-                PredicateOp::Lt => t < q,
-                PredicateOp::Le => t <= q,
-                PredicateOp::Gt => t > q,
-                PredicateOp::Ge => t >= q,
-                PredicateOp::Eq => unreachable!("handled above"),
-            },
+            (PredicateOp::Lt, Value::Num(t), Value::Num(q)) => t < q,
+            (PredicateOp::Le, Value::Num(t), Value::Num(q)) => t <= q,
+            (PredicateOp::Gt, Value::Num(t), Value::Num(q)) => t > q,
+            (PredicateOp::Ge, Value::Num(t), Value::Num(q)) => t >= q,
             _ => false,
         }
     }
@@ -562,10 +559,7 @@ mod tests {
         let base = q.to_base_query();
         assert!(base.matches(&tuple("Toyota", "Camry", 2000.0, 10000.0)));
         assert!(!base.matches(&tuple("Toyota", "Camry", 2000.0, 10500.0)));
-        assert!(base
-            .predicates()
-            .iter()
-            .all(|p| p.op == PredicateOp::Eq));
+        assert!(base.predicates().iter().all(|p| p.op == PredicateOp::Eq));
     }
 
     #[test]

@@ -324,7 +324,10 @@ mod tests {
         let a = car_schema();
         let b = car_schema();
         assert_eq!(a, b);
-        let c = Schema::builder("CarDB").categorical("Make").build().unwrap();
+        let c = Schema::builder("CarDB")
+            .categorical("Make")
+            .build()
+            .unwrap();
         assert_ne!(a, c);
     }
 }

@@ -130,7 +130,11 @@ mod tests {
         let s = schema();
         let t = Tuple::new(
             &s,
-            vec![Value::cat("Toyota"), Value::cat("Camry"), Value::num(10000.0)],
+            vec![
+                Value::cat("Toyota"),
+                Value::cat("Camry"),
+                Value::num(10000.0),
+            ],
         )
         .unwrap();
         assert_eq!(t.value(AttrId(0)), &Value::cat("Toyota"));
@@ -141,11 +145,7 @@ mod tests {
     #[test]
     fn nulls_are_permitted_and_skipped_in_bound_attrs() {
         let s = schema();
-        let t = Tuple::new(
-            &s,
-            vec![Value::Null, Value::cat("Camry"), Value::Null],
-        )
-        .unwrap();
+        let t = Tuple::new(&s, vec![Value::Null, Value::cat("Camry"), Value::Null]).unwrap();
         assert_eq!(t.bound_attrs(), vec![AttrId(1)]);
     }
 

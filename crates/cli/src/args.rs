@@ -16,7 +16,9 @@ impl Args {
         let mut iter = argv.iter();
         while let Some(arg) = iter.next() {
             let Some(name) = arg.strip_prefix("--") else {
-                return Err(format!("unexpected argument `{arg}` (flags are --name value)"));
+                return Err(format!(
+                    "unexpected argument `{arg}` (flags are --name value)"
+                ));
             };
             let Some(value) = iter.next() else {
                 return Err(format!("flag --{name} is missing its value"));

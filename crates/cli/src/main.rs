@@ -76,8 +76,8 @@ fn load(args: &Args) -> Result<(Schema, Relation), String> {
     let csv_path = args.required("csv")?;
     let spec = args.required("schema")?;
     let schema = schema_spec::parse_schema("R", &spec)?;
-    let file = std::fs::File::open(&csv_path)
-        .map_err(|e| format!("cannot open {csv_path}: {e}"))?;
+    let file =
+        std::fs::File::open(&csv_path).map_err(|e| format!("cannot open {csv_path}: {e}"))?;
     let relation =
         read_csv(&schema, BufReader::new(file)).map_err(|e| format!("{csv_path}: {e}"))?;
     if relation.is_empty() {
@@ -152,8 +152,7 @@ fn describe(args: &Args) -> Result<(), String> {
 
 fn mine(args: &Args) -> Result<(), String> {
     let (schema, relation) = load(args)?;
-    let system =
-        AimqSystem::train(&relation, &train_config(args)?).map_err(|e| e.to_string())?;
+    let system = AimqSystem::train(&relation, &train_config(args)?).map_err(|e| e.to_string())?;
 
     if let Ok(model_path) = args.required("save") {
         system
@@ -292,10 +291,7 @@ mod tests {
     }
 
     fn write_mini_csv() -> std::path::PathBuf {
-        let path = std::env::temp_dir().join(format!(
-            "aimq_cli_test_{}.csv",
-            std::process::id()
-        ));
+        let path = std::env::temp_dir().join(format!("aimq_cli_test_{}.csv", std::process::id()));
         std::fs::write(
             &path,
             "Make,Model,Price\n\
@@ -329,14 +325,24 @@ mod tests {
             Ok(())
         );
         assert_eq!(
-            run(&argv(&["mine", "--csv", csv, "--schema", schema, "--terr", "0.3"])),
+            run(&argv(&[
+                "mine", "--csv", csv, "--schema", schema, "--terr", "0.3"
+            ])),
             Ok(())
         );
         assert_eq!(
             run(&argv(&[
-                "query", "--csv", csv, "--schema", schema,
-                "--query", "Model like Camry, Price like 10000",
-                "--tsim", "0.2", "--sample", "8",
+                "query",
+                "--csv",
+                csv,
+                "--schema",
+                schema,
+                "--query",
+                "Model like Camry, Price like 10000",
+                "--tsim",
+                "0.2",
+                "--sample",
+                "8",
             ])),
             Ok(())
         );
@@ -348,23 +354,28 @@ mod tests {
         let path = write_mini_csv();
         let csv = path.to_str().unwrap();
         let schema = "Make:cat,Model:cat,Price:num";
-        let model_path = std::env::temp_dir().join(format!(
-            "aimq_cli_model_{}.bin",
-            std::process::id()
-        ));
+        let model_path =
+            std::env::temp_dir().join(format!("aimq_cli_model_{}.bin", std::process::id()));
         let model = model_path.to_str().unwrap();
         assert_eq!(
             run(&argv(&[
-                "mine", "--csv", csv, "--schema", schema,
-                "--terr", "0.3", "--save", model,
+                "mine", "--csv", csv, "--schema", schema, "--terr", "0.3", "--save", model,
             ])),
             Ok(())
         );
         assert_eq!(
             run(&argv(&[
-                "query", "--csv", csv, "--schema", schema,
-                "--query", "Model like Camry", "--tsim", "0.2",
-                "--model", model,
+                "query",
+                "--csv",
+                csv,
+                "--schema",
+                schema,
+                "--query",
+                "Model like Camry",
+                "--tsim",
+                "0.2",
+                "--model",
+                model,
             ])),
             Ok(())
         );

@@ -59,8 +59,8 @@ mod tests {
         let ordering = AttributeOrdering::uniform(&schema).unwrap();
         // Narrow price buckets so the banded base query behaves almost
         // like equality in these tests.
-        let bucket = BucketConfig::for_schema(&schema)
-            .with_spec(AttrId(2), BucketSpec::width(100.0));
+        let bucket =
+            BucketConfig::for_schema(&schema).with_spec(AttrId(2), BucketSpec::width(100.0));
         SimilarityModel::build(db.relation(), &ordering, &SimConfig { bucket })
     }
 
@@ -74,11 +74,7 @@ mod tests {
         let tuples: Vec<Tuple> = rows
             .iter()
             .map(|&(mk, md, p)| {
-                Tuple::new(
-                    &schema,
-                    vec![Value::cat(mk), Value::cat(md), Value::num(p)],
-                )
-                .unwrap()
+                Tuple::new(&schema, vec![Value::cat(mk), Value::cat(md), Value::num(p)]).unwrap()
             })
             .collect();
         InMemoryWebDb::new(Relation::from_tuples(schema, &tuples).unwrap())

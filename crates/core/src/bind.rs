@@ -38,10 +38,7 @@ fn bind_attr(model: &SimilarityModel, attr: AttrId, value: &Value, out: &mut Vec
 
 /// Precise query for a set of `(attribute, value)` bindings (the base
 /// query `Qpr` of Algorithm 1, with numeric bands).
-pub fn precise_query_for(
-    model: &SimilarityModel,
-    bindings: &[(AttrId, Value)],
-) -> SelectionQuery {
+pub fn precise_query_for(model: &SimilarityModel, bindings: &[(AttrId, Value)]) -> SelectionQuery {
     let mut predicates = Vec::with_capacity(bindings.len());
     for (attr, value) in bindings {
         bind_attr(model, *attr, value, &mut predicates);
@@ -51,11 +48,7 @@ pub fn precise_query_for(
 
 /// A base-set tuple viewed as a fully bound selection query over `bound`
 /// (Algorithm 1, step 3), with numeric bucket bands.
-pub fn tuple_query_for(
-    model: &SimilarityModel,
-    tuple: &Tuple,
-    bound: &[AttrId],
-) -> SelectionQuery {
+pub fn tuple_query_for(model: &SimilarityModel, tuple: &Tuple, bound: &[AttrId]) -> SelectionQuery {
     let mut predicates = Vec::with_capacity(bound.len());
     for &attr in bound {
         bind_attr(model, attr, tuple.value(attr), &mut predicates);
@@ -79,9 +72,7 @@ mod tests {
             .unwrap();
         let tuples: Vec<Tuple> = [("Toyota", 9000.0), ("Honda", 14000.0)]
             .iter()
-            .map(|&(m, p)| {
-                Tuple::new(&schema, vec![Value::cat(m), Value::num(p)]).unwrap()
-            })
+            .map(|&(m, p)| Tuple::new(&schema, vec![Value::cat(m), Value::num(p)]).unwrap())
             .collect();
         let rel = Relation::from_tuples(schema.clone(), &tuples).unwrap();
         let ordering = AttributeOrdering::uniform(&schema).unwrap();
@@ -105,12 +96,9 @@ mod tests {
         assert_eq!(q.len(), 2);
         // 9000 with width-5000 buckets → [5000, 10000).
         let schema = m.schema().clone();
-        let in_band =
-            Tuple::new(&schema, vec![Value::cat("X"), Value::num(9999.0)]).unwrap();
-        let below =
-            Tuple::new(&schema, vec![Value::cat("X"), Value::num(4999.0)]).unwrap();
-        let above =
-            Tuple::new(&schema, vec![Value::cat("X"), Value::num(10000.0)]).unwrap();
+        let in_band = Tuple::new(&schema, vec![Value::cat("X"), Value::num(9999.0)]).unwrap();
+        let below = Tuple::new(&schema, vec![Value::cat("X"), Value::num(4999.0)]).unwrap();
+        let above = Tuple::new(&schema, vec![Value::cat("X"), Value::num(10000.0)]).unwrap();
         assert!(q.matches(&in_band));
         assert!(!q.matches(&below));
         assert!(!q.matches(&above));

@@ -70,8 +70,7 @@ pub struct WorkStats {
 impl WorkStats {
     /// `Work/RelevantTuple`; `None` when nothing relevant was found.
     pub fn work_per_relevant(&self) -> Option<f64> {
-        (self.relevant_found > 0)
-            .then(|| self.tuples_examined as f64 / self.relevant_found as f64)
+        (self.relevant_found > 0).then(|| self.tuples_examined as f64 / self.relevant_found as f64)
     }
 }
 

@@ -90,11 +90,29 @@ fn put_ordering(out: &mut Vec<u8>, ordering: &AttributeOrdering) {
         out.put_u16_le(attr.index() as u16);
     }
     let attrs: Vec<AttrId> = ordering.schema().attr_ids().collect();
-    put_f64s(out, &attrs.iter().map(|&a| ordering.importance(a)).collect::<Vec<_>>());
+    put_f64s(
+        out,
+        &attrs
+            .iter()
+            .map(|&a| ordering.importance(a))
+            .collect::<Vec<_>>(),
+    );
     out.put_u64_le(ordering.deciding().bits());
     out.put_u64_le(ordering.dependent().bits());
-    put_f64s(out, &attrs.iter().map(|&a| ordering.wt_decides(a)).collect::<Vec<_>>());
-    put_f64s(out, &attrs.iter().map(|&a| ordering.wt_depends(a)).collect::<Vec<_>>());
+    put_f64s(
+        out,
+        &attrs
+            .iter()
+            .map(|&a| ordering.wt_decides(a))
+            .collect::<Vec<_>>(),
+    );
+    put_f64s(
+        out,
+        &attrs
+            .iter()
+            .map(|&a| ordering.wt_depends(a))
+            .collect::<Vec<_>>(),
+    );
 }
 
 fn put_mined(out: &mut Vec<u8>, mined: &MinedDependencies) {

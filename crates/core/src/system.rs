@@ -2,8 +2,7 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use aimq_afd::{
-    AttributeOrdering, BucketConfig, EncodedRelation, MinedDependencies, OrderingError,
-    TaneConfig,
+    AttributeOrdering, BucketConfig, EncodedRelation, MinedDependencies, OrderingError, TaneConfig,
 };
 use aimq_catalog::{AttrId, ImpreciseQuery};
 use aimq_sim::{SimConfig, SimilarityModel};
@@ -255,16 +254,46 @@ mod tests {
         for i in 0..8i32 {
             let year = 1998 + (i % 6);
             let color = colors[(i % 3) as usize];
-            tuples.push(car("Toyota", "Camry", year, 8200.0 + 250.0 * f64::from(i), color));
-            tuples.push(car("Honda", "Accord", year, 8350.0 + 250.0 * f64::from(i), color));
+            tuples.push(car(
+                "Toyota",
+                "Camry",
+                year,
+                8200.0 + 250.0 * f64::from(i),
+                color,
+            ));
+            tuples.push(car(
+                "Honda",
+                "Accord",
+                year,
+                8350.0 + 250.0 * f64::from(i),
+                color,
+            ));
         }
         for i in 0..4i32 {
             let year = 1999 + i;
-            tuples.push(car("Toyota", "Corolla", year, 6600.0 + 200.0 * f64::from(i), colors[(i % 3) as usize]));
-            tuples.push(car("Honda", "Civic", year, 6500.0 + 200.0 * f64::from(i), colors[((i + 1) % 3) as usize]));
+            tuples.push(car(
+                "Toyota",
+                "Corolla",
+                year,
+                6600.0 + 200.0 * f64::from(i),
+                colors[(i % 3) as usize],
+            ));
+            tuples.push(car(
+                "Honda",
+                "Civic",
+                year,
+                6500.0 + 200.0 * f64::from(i),
+                colors[((i + 1) % 3) as usize],
+            ));
         }
         for i in 0..6i32 {
-            tuples.push(car("Ford", "F150", 2000 + (i % 4), 24000.0 + 500.0 * f64::from(i), "Red"));
+            tuples.push(car(
+                "Ford",
+                "F150",
+                2000 + (i % 4),
+                24000.0 + 500.0 * f64::from(i),
+                "Red",
+            ));
         }
         InMemoryWebDb::new(Relation::from_tuples(car_schema(), &tuples).unwrap())
     }
@@ -509,15 +538,9 @@ mod tests {
             .iter()
             .map(|s| (*s).to_owned())
             .collect();
-        let system = AimqSystem::probe_and_train(
-            &db,
-            AttrId(0),
-            &makes,
-            1000,
-            1,
-            &TrainConfig::default(),
-        )
-        .unwrap();
+        let system =
+            AimqSystem::probe_and_train(&db, AttrId(0), &makes, 1000, 1, &TrainConfig::default())
+                .unwrap();
         assert!(db.stats().queries_issued >= 3);
         let result = system.answer(&db, &camry_query(), &EngineConfig::default());
         assert!(!result.answers.is_empty());

@@ -46,7 +46,9 @@ impl CarDb {
         for _ in 0..n {
             let spec = &MODEL_CATALOG[picker.pick(&mut rng)];
             let tuple = Self::generate_tuple(&schema, spec, &location_picker, &mut rng);
-            builder.push(&tuple).expect("generated tuple matches schema");
+            builder
+                .push(&tuple)
+                .expect("generated tuple matches schema");
         }
         builder.build()
     }
@@ -170,7 +172,9 @@ impl WeightedPicker {
     fn pick(&self, rng: &mut impl RngExt) -> usize {
         let total = *self.cumulative.last().expect("non-empty");
         let x: f64 = rng.random::<f64>() * total;
-        self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c <= x)
+            .min(self.cumulative.len() - 1)
     }
 }
 
@@ -257,15 +261,36 @@ mod tests {
     fn paper_values_exist_in_catalog() {
         // Table 3 / Figure 5 reference these values; the generator must be
         // able to produce them.
-        let catalog: Vec<(&str, &str)> =
-            CarDb::catalog().map(|(mk, md, _)| (mk, md)).collect();
-        for make in ["Ford", "Chevrolet", "Toyota", "Honda", "Dodge", "Nissan", "BMW", "Kia", "Hyundai", "Isuzu", "Subaru"] {
+        let catalog: Vec<(&str, &str)> = CarDb::catalog().map(|(mk, md, _)| (mk, md)).collect();
+        for make in [
+            "Ford",
+            "Chevrolet",
+            "Toyota",
+            "Honda",
+            "Dodge",
+            "Nissan",
+            "BMW",
+            "Kia",
+            "Hyundai",
+            "Isuzu",
+            "Subaru",
+        ] {
             assert!(
                 catalog.iter().any(|&(mk, _)| mk == make),
                 "missing make {make}"
             );
         }
-        for model in ["Bronco", "Aerostar", "F-350", "Econoline Van", "Camry", "Accord", "Focus", "ZX2", "F150"] {
+        for model in [
+            "Bronco",
+            "Aerostar",
+            "F-350",
+            "Econoline Van",
+            "Camry",
+            "Accord",
+            "Focus",
+            "ZX2",
+            "F150",
+        ] {
             assert!(
                 catalog.iter().any(|&(_, md)| md == model),
                 "missing model {model}"
@@ -288,9 +313,7 @@ mod tests {
         let r = CarDb::generate(20_000, 3);
         let recent = r
             .tuples()
-            .filter(|t| {
-                t.value(AttrId(2)).as_cat().unwrap().parse::<i32>().unwrap() >= 1999
-            })
+            .filter(|t| t.value(AttrId(2)).as_cat().unwrap().parse::<i32>().unwrap() >= 1999)
             .count();
         // Quadratic skew: more than a uniform share in the last 7 of 22 years.
         assert!(recent as f64 > 0.4 * 20_000.0, "recent={recent}");

@@ -165,9 +165,7 @@ mod tests {
         let a = car("Toyota", "Camry", "2000", 10000.0, 60000.0);
         let near = car("Toyota", "Camry", "2000", 10500.0, 60000.0);
         let far = car("Toyota", "Camry", "2000", 30000.0, 60000.0);
-        assert!(
-            car_oracle_similarity(&s, &a, &near) > car_oracle_similarity(&s, &a, &far)
-        );
+        assert!(car_oracle_similarity(&s, &a, &near) > car_oracle_similarity(&s, &a, &far));
     }
 
     #[test]
@@ -191,8 +189,7 @@ mod tests {
         let a = car("Kia", "Rio", "2001", 6000.0, 40000.0);
         let b = car("Hyundai", "Accent", "2000", 5500.0, 55000.0);
         assert!(
-            (car_oracle_similarity(&s, &a, &b) - car_oracle_similarity(&s, &b, &a)).abs()
-                < 1e-12
+            (car_oracle_similarity(&s, &a, &b) - car_oracle_similarity(&s, &b, &a)).abs() < 1e-12
         );
     }
 

@@ -200,40 +200,108 @@ pub static MODEL_CATALOG: &[ModelSpec] = &[
 /// relation *sparse* along Location, as the paper's Yahoo Autos crawl
 /// was, so arbitrary (random) query relaxations genuinely pay a price.
 pub static LOCATIONS: &[(&str, f64)] = &[
-    ("New York", 8.0), ("Los Angeles", 7.5), ("Chicago", 6.0),
-    ("Houston", 5.5), ("Phoenix", 5.0), ("Philadelphia", 4.5),
-    ("San Antonio", 4.0), ("San Diego", 4.0), ("Dallas", 4.5),
-    ("San Jose", 3.5), ("Austin", 3.5), ("Jacksonville", 2.8),
-    ("Fort Worth", 2.8), ("Columbus", 2.7), ("Charlotte", 2.7),
-    ("San Francisco", 3.5), ("Indianapolis", 2.6), ("Seattle", 3.4),
-    ("Denver", 3.2), ("Washington", 3.4), ("Boston", 3.2),
-    ("El Paso", 2.0), ("Nashville", 2.4), ("Detroit", 2.8),
-    ("Oklahoma City", 2.0), ("Portland", 2.6), ("Las Vegas", 2.6),
-    ("Memphis", 2.0), ("Louisville", 1.9), ("Baltimore", 2.2),
-    ("Milwaukee", 1.9), ("Albuquerque", 1.7), ("Tucson", 1.7),
-    ("Fresno", 1.6), ("Sacramento", 2.0), ("Kansas City", 1.9),
-    ("Mesa", 1.5), ("Atlanta", 2.8), ("Omaha", 1.5),
-    ("Colorado Springs", 1.5), ("Raleigh", 1.7), ("Miami", 2.6),
-    ("Virginia Beach", 1.5), ("Oakland", 1.7), ("Minneapolis", 2.2),
-    ("Tulsa", 1.4), ("Arlington", 1.3), ("Tampa", 1.9),
-    ("New Orleans", 1.7), ("Wichita", 1.3), ("Cleveland", 1.8),
-    ("Bakersfield", 1.2), ("Aurora", 1.1), ("Anaheim", 1.2),
-    ("Honolulu", 1.2), ("Santa Ana", 1.1), ("Riverside", 1.2),
-    ("Corpus Christi", 1.1), ("Lexington", 1.1), ("Stockton", 1.0),
-    ("Henderson", 1.0), ("Saint Paul", 1.1), ("St. Louis", 1.8),
-    ("Cincinnati", 1.5), ("Pittsburgh", 1.7), ("Greensboro", 1.0),
-    ("Anchorage", 0.8), ("Plano", 1.0), ("Lincoln", 0.9),
-    ("Orlando", 1.6), ("Irvine", 1.0), ("Newark", 1.1),
-    ("Toledo", 0.9), ("Durham", 1.0), ("Chula Vista", 0.9),
-    ("Fort Wayne", 0.9), ("Jersey City", 1.0), ("St. Petersburg", 1.0),
-    ("Laredo", 0.8), ("Madison", 1.0), ("Chandler", 0.9),
-    ("Buffalo", 1.1), ("Lubbock", 0.8), ("Scottsdale", 0.9),
-    ("Reno", 0.9), ("Glendale", 0.8), ("Gilbert", 0.8),
-    ("Winston-Salem", 0.8), ("North Las Vegas", 0.8), ("Norfolk", 0.9),
-    ("Chesapeake", 0.8), ("Garland", 0.8), ("Irving", 0.8),
-    ("Hialeah", 0.8), ("Fremont", 0.8), ("Boise", 0.9),
-    ("Richmond", 1.0), ("Baton Rouge", 0.9), ("Spokane", 0.9),
-    ("Des Moines", 0.9), ("Tacoma", 0.8), ("San Bernardino", 0.8),
+    ("New York", 8.0),
+    ("Los Angeles", 7.5),
+    ("Chicago", 6.0),
+    ("Houston", 5.5),
+    ("Phoenix", 5.0),
+    ("Philadelphia", 4.5),
+    ("San Antonio", 4.0),
+    ("San Diego", 4.0),
+    ("Dallas", 4.5),
+    ("San Jose", 3.5),
+    ("Austin", 3.5),
+    ("Jacksonville", 2.8),
+    ("Fort Worth", 2.8),
+    ("Columbus", 2.7),
+    ("Charlotte", 2.7),
+    ("San Francisco", 3.5),
+    ("Indianapolis", 2.6),
+    ("Seattle", 3.4),
+    ("Denver", 3.2),
+    ("Washington", 3.4),
+    ("Boston", 3.2),
+    ("El Paso", 2.0),
+    ("Nashville", 2.4),
+    ("Detroit", 2.8),
+    ("Oklahoma City", 2.0),
+    ("Portland", 2.6),
+    ("Las Vegas", 2.6),
+    ("Memphis", 2.0),
+    ("Louisville", 1.9),
+    ("Baltimore", 2.2),
+    ("Milwaukee", 1.9),
+    ("Albuquerque", 1.7),
+    ("Tucson", 1.7),
+    ("Fresno", 1.6),
+    ("Sacramento", 2.0),
+    ("Kansas City", 1.9),
+    ("Mesa", 1.5),
+    ("Atlanta", 2.8),
+    ("Omaha", 1.5),
+    ("Colorado Springs", 1.5),
+    ("Raleigh", 1.7),
+    ("Miami", 2.6),
+    ("Virginia Beach", 1.5),
+    ("Oakland", 1.7),
+    ("Minneapolis", 2.2),
+    ("Tulsa", 1.4),
+    ("Arlington", 1.3),
+    ("Tampa", 1.9),
+    ("New Orleans", 1.7),
+    ("Wichita", 1.3),
+    ("Cleveland", 1.8),
+    ("Bakersfield", 1.2),
+    ("Aurora", 1.1),
+    ("Anaheim", 1.2),
+    ("Honolulu", 1.2),
+    ("Santa Ana", 1.1),
+    ("Riverside", 1.2),
+    ("Corpus Christi", 1.1),
+    ("Lexington", 1.1),
+    ("Stockton", 1.0),
+    ("Henderson", 1.0),
+    ("Saint Paul", 1.1),
+    ("St. Louis", 1.8),
+    ("Cincinnati", 1.5),
+    ("Pittsburgh", 1.7),
+    ("Greensboro", 1.0),
+    ("Anchorage", 0.8),
+    ("Plano", 1.0),
+    ("Lincoln", 0.9),
+    ("Orlando", 1.6),
+    ("Irvine", 1.0),
+    ("Newark", 1.1),
+    ("Toledo", 0.9),
+    ("Durham", 1.0),
+    ("Chula Vista", 0.9),
+    ("Fort Wayne", 0.9),
+    ("Jersey City", 1.0),
+    ("St. Petersburg", 1.0),
+    ("Laredo", 0.8),
+    ("Madison", 1.0),
+    ("Chandler", 0.9),
+    ("Buffalo", 1.1),
+    ("Lubbock", 0.8),
+    ("Scottsdale", 0.9),
+    ("Reno", 0.9),
+    ("Glendale", 0.8),
+    ("Gilbert", 0.8),
+    ("Winston-Salem", 0.8),
+    ("North Las Vegas", 0.8),
+    ("Norfolk", 0.9),
+    ("Chesapeake", 0.8),
+    ("Garland", 0.8),
+    ("Irving", 0.8),
+    ("Hialeah", 0.8),
+    ("Fremont", 0.8),
+    ("Boise", 0.9),
+    ("Richmond", 1.0),
+    ("Baton Rouge", 0.9),
+    ("Spokane", 0.9),
+    ("Des Moines", 0.9),
+    ("Tacoma", 0.8),
+    ("San Bernardino", 0.8),
 ];
 
 /// Exterior colors with base weights.
@@ -273,7 +341,11 @@ mod tests {
         models.sort_unstable();
         let before = models.len();
         models.dedup();
-        assert_eq!(models.len(), before, "duplicate model names break the Model→Make FD");
+        assert_eq!(
+            models.len(),
+            before,
+            "duplicate model names break the Model→Make FD"
+        );
     }
 
     #[test]

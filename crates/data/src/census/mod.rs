@@ -4,9 +4,7 @@ use aimq_catalog::{Schema, Tuple, Value};
 use aimq_storage::Relation;
 use rand::{RngExt, SeedableRng};
 
-use spec::{
-    education_table, occupation_table, EDU_WEIGHTS, NATIVE_COUNTRIES, RACES, WORKCLASSES,
-};
+use spec::{education_table, occupation_table, EDU_WEIGHTS, NATIVE_COUNTRIES, RACES, WORKCLASSES};
 
 /// Income class of a generated census record — the held-out ground truth
 /// of the paper's Figure 9 experiment.
@@ -61,16 +59,15 @@ impl CensusDb {
 
         for _ in 0..n {
             let (tuple, class) = Self::generate_record(&schema, &mut rng);
-            builder.push(&tuple).expect("generated tuple matches schema");
+            builder
+                .push(&tuple)
+                .expect("generated tuple matches schema");
             classes.push(class);
         }
         (builder.build(), classes)
     }
 
-    fn generate_record(
-        schema: &Schema,
-        rng: &mut rand::rngs::StdRng,
-    ) -> (Tuple, IncomeClass) {
+    fn generate_record(schema: &Schema, rng: &mut rand::rngs::StdRng) -> (Tuple, IncomeClass) {
         // Education first: it anchors the latent earning score.
         let edu_idx = weighted_index(EDU_WEIGHTS, rng);
         let (education, edu_score) = education_table()[edu_idx];
@@ -100,24 +97,23 @@ impl CensusDb {
             .round();
         let hours_factor = ((hours - 30.0) / 40.0).clamp(0.0, 1.0);
 
-        let workclass = WORKCLASSES[weighted_index(
-            &[60.0, 8.0, 4.0, 4.0, 5.0, 6.0],
-            rng,
-        )];
+        let workclass = WORKCLASSES[weighted_index(&[60.0, 8.0, 4.0, 4.0, 5.0, 6.0], rng)];
         let workclass_bonus = match workclass {
             "Self-emp-inc" => 0.25,
             "Federal-gov" => 0.12,
             _ => 0.0,
         };
 
-        let sex = if rng.random::<f64>() < 0.52 { "Male" } else { "Female" };
+        let sex = if rng.random::<f64>() < 0.52 {
+            "Male"
+        } else {
+            "Female"
+        };
         let marital = pick_marital(age, rng);
         let relationship = pick_relationship(marital, sex, rng);
         let race = RACES[weighted_index(&[78.0, 10.0, 4.0, 1.0, 7.0], rng)];
-        let native = NATIVE_COUNTRIES[weighted_index(
-            &[85.0, 3.0, 2.0, 1.5, 1.5, 1.5, 1.2, 1.2, 1.1, 2.0],
-            rng,
-        )];
+        let native = NATIVE_COUNTRIES
+            [weighted_index(&[85.0, 3.0, 2.0, 1.5, 1.5, 1.5, 1.2, 1.2, 1.1, 2.0], rng)];
 
         // Latent earning score (before capital income).
         let base_score = 1.1 * edu_score
@@ -125,7 +121,11 @@ impl CensusDb {
             + 0.5 * age_factor
             + 0.6 * hours_factor
             + workclass_bonus
-            + if marital == "Married-civ-spouse" { 0.2 } else { 0.0 };
+            + if marital == "Married-civ-spouse" {
+                0.2
+            } else {
+                0.0
+            };
 
         // Capital gains concentrate among high earners.
         let gain_prob = 0.02 + 0.12 * (base_score / 3.0).clamp(0.0, 1.0);
@@ -142,9 +142,8 @@ impl CensusDb {
 
         let demographic_weight = (20_000.0 + 280_000.0 * rng.random::<f64>()).round();
 
-        let score = base_score
-            + if capital_gain > 5000.0 { 0.8 } else { 0.0 }
-            + 0.35 * normalish(rng);
+        let score =
+            base_score + if capital_gain > 5000.0 { 0.8 } else { 0.0 } + 0.35 * normalish(rng);
         let class = if score > 2.05 {
             IncomeClass::Above50K
         } else {
@@ -190,11 +189,7 @@ fn pick_marital(age: f64, rng: &mut rand::rngs::StdRng) -> &'static str {
     }
 }
 
-fn pick_relationship(
-    marital: &str,
-    sex: &str,
-    rng: &mut rand::rngs::StdRng,
-) -> &'static str {
+fn pick_relationship(marital: &str, sex: &str, rng: &mut rand::rngs::StdRng) -> &'static str {
     match marital {
         "Married-civ-spouse" => {
             if sex == "Male" {

@@ -58,7 +58,11 @@ impl AblationResult {
                 "Ablation: importance source vs answer quality ({} queries)",
                 self.n_queries
             ),
-            &["Importance source", "Top-10 oracle relevance", "Tuples examined"],
+            &[
+                "Importance source",
+                "Top-10 oracle relevance",
+                "Tuples examined",
+            ],
         );
         for r in &self.rows {
             t.row(vec![

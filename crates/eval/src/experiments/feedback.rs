@@ -32,7 +32,10 @@ pub struct FeedbackResult {
 impl FeedbackResult {
     /// Did feedback help: final-round quality ≥ initial quality?
     pub fn improves(&self) -> bool {
-        match (self.quality_per_round.first(), self.quality_per_round.last()) {
+        match (
+            self.quality_per_round.first(),
+            self.quality_per_round.last(),
+        ) {
             (Some(first), Some(last)) => last >= first,
             _ => false,
         }
@@ -40,7 +43,10 @@ impl FeedbackResult {
 
     /// Total quality gain from round 0 to the last round.
     pub fn gain(&self) -> f64 {
-        match (self.quality_per_round.first(), self.quality_per_round.last()) {
+        match (
+            self.quality_per_round.first(),
+            self.quality_per_round.last(),
+        ) {
             (Some(first), Some(last)) => last - first,
             _ => 0.0,
         }
@@ -124,8 +130,7 @@ pub fn run(scale: Scale, seed: u64) -> FeedbackResult {
             // The user judges the current top-10.
             for answer in ranked.iter().take(10) {
                 let relevant =
-                    car_oracle_similarity(&schema, &query_tuple, &answer.tuple)
-                        >= RELEVANCE_CUTOFF;
+                    car_oracle_similarity(&schema, &query_tuple, &answer.tuple) >= RELEVANCE_CUTOFF;
                 tuner.observe(system.model(), &query, &answer.tuple, relevant);
             }
             ranked = tuner.rerank(system.model(), &query, &pool);

@@ -110,12 +110,7 @@ pub fn run(scale: Scale, seed: u64) -> Fig3Result {
         let enc = EncodedRelation::encode(&sample, &buckets);
         let mined = MinedDependencies::mine(&enc, &tane);
         let ordering = AttributeOrdering::derive(&schema, &mined).expect("non-empty schema");
-        wt_depends.push(
-            schema
-                .attr_ids()
-                .map(|a| ordering.wt_depends(a))
-                .collect(),
-        );
+        wt_depends.push(schema.attr_ids().map(|a| ordering.wt_depends(a)).collect());
     }
 
     Fig3Result {

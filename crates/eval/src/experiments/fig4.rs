@@ -63,8 +63,7 @@ impl Fig4Result {
         }
         let sample_keys = &self.best_key_sets[..n - 1];
         let full_key = self.best_key_sets[n - 1];
-        sample_keys.windows(2).all(|w| w[0] == w[1])
-            && full_key.is_superset_of(sample_keys[0])
+        sample_keys.windows(2).all(|w| w[0] == w[1]) && full_key.is_superset_of(sample_keys[0])
     }
 
     /// Render rows = keys (ascending full-data quality), columns =

@@ -81,7 +81,10 @@ pub fn run(scale: Scale, seed: u64) -> Fig5Result {
     let sample = full.random_sample(scale.size(25_000), seed.wrapping_add(1));
     let system = train_cardb(&sample);
     let make_attr = sample.schema().attr_id("Make").expect("CarDB Make");
-    let matrix = system.model().matrix(make_attr).expect("Make is categorical");
+    let matrix = system
+        .model()
+        .matrix(make_attr)
+        .expect("Make is categorical");
 
     let makes: Vec<String> = FIGURE_MAKES.iter().map(|s| (*s).to_owned()).collect();
     let n = makes.len();

@@ -72,7 +72,9 @@ impl Fig67Result {
 pub fn run(scale: Scale, seed: u64) -> Fig67Result {
     let relation = CarDb::generate(scale.cardb(), seed);
     let db = InMemoryWebDb::new(relation);
-    let sample = db.relation().random_sample(scale.size(25_000), seed.wrapping_add(1));
+    let sample = db
+        .relation()
+        .random_sample(scale.size(25_000), seed.wrapping_add(1));
     let system = train_cardb(&sample);
 
     let n_queries = scale.count(10);
@@ -84,9 +86,7 @@ pub fn run(scale: Scale, seed: u64) -> Fig67Result {
     let query_rows = pick_query_rows(db.relation(), n_queries, seed.wrapping_add(2));
     let queries: Vec<ImpreciseQuery> = query_rows
         .iter()
-        .map(|&row| {
-            ImpreciseQuery::from_tuple(&db.relation().tuple(row)).expect("non-null tuple")
-        })
+        .map(|&row| ImpreciseQuery::from_tuple(&db.relation().tuple(row)).expect("non-null tuple"))
         .collect();
 
     let thresholds = vec![0.5, 0.6, 0.7, 0.8, 0.9];

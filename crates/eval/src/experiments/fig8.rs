@@ -12,10 +12,10 @@
 //! segment information that none of the three systems ever sees.
 
 use aimq::{EngineConfig, GuidedRelax, RandomRelax};
+use aimq_afd::EncodedRelation;
 use aimq_catalog::{ImpreciseQuery, Tuple};
 use aimq_data::{car_oracle_similarity, CarDb};
 use aimq_rock::{RockConfig, RockModel};
-use aimq_afd::EncodedRelation;
 use aimq_storage::{InMemoryWebDb, RowId};
 
 use crate::experiments::common::{
@@ -70,8 +70,14 @@ impl Fig8Result {
             ),
             &["Method", "Average MRR"],
         );
-        t.row(vec!["GuidedRelax".into(), format!("{:.3}", self.guided_mrr)]);
-        t.row(vec!["RandomRelax".into(), format!("{:.3}", self.random_mrr)]);
+        t.row(vec![
+            "GuidedRelax".into(),
+            format!("{:.3}", self.guided_mrr),
+        ]);
+        t.row(vec![
+            "RandomRelax".into(),
+            format!("{:.3}", self.random_mrr),
+        ]);
         t.row(vec!["ROCK".into(), format!("{:.3}", self.rock_mrr)]);
         t
     }
@@ -82,8 +88,14 @@ impl Fig8Result {
             "Supplement: average ground-truth relevance of returned answers",
             &["Method", "Oracle relevance"],
         );
-        t.row(vec!["GuidedRelax".into(), format!("{:.3}", self.guided_quality)]);
-        t.row(vec!["RandomRelax".into(), format!("{:.3}", self.random_quality)]);
+        t.row(vec![
+            "GuidedRelax".into(),
+            format!("{:.3}", self.guided_quality),
+        ]);
+        t.row(vec![
+            "RandomRelax".into(),
+            format!("{:.3}", self.random_quality),
+        ]);
         t.row(vec!["ROCK".into(), format!("{:.3}", self.rock_quality)]);
         t
     }
@@ -139,7 +151,10 @@ pub fn run(scale: Scale, seed: u64) -> Fig8Result {
 
     // At least 8 queries even in throttled runs: the MRR average over
     // 3 queries is too noisy to compare methods.
-    let n_queries = std::env::var("AIMQ_FIG8_QUERIES").ok().and_then(|v| v.parse().ok()).unwrap_or_else(|| scale.count(14).max(8));
+    let n_queries = std::env::var("AIMQ_FIG8_QUERIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| scale.count(14).max(8));
     let users = SimulatedUser::panel(8, seed.wrapping_add(3));
     let query_rows = pick_query_rows(db.relation(), n_queries, seed.wrapping_add(4));
 
@@ -189,20 +204,12 @@ pub fn run(scale: Scale, seed: u64) -> Fig8Result {
         };
 
         let mut g_strategy = GuidedRelax::new(guided_system.ordering().clone());
-        let guided_answers = answers_of(guided_system.answer_with_strategy(
-            &db,
-            &query,
-            &config,
-            &mut g_strategy,
-        ));
+        let guided_answers =
+            answers_of(guided_system.answer_with_strategy(&db, &query, &config, &mut g_strategy));
 
         let mut r_strategy = RandomRelax::new(seed.wrapping_add(row as u64));
-        let random_answers = answers_of(uniform_system.answer_with_strategy(
-            &db,
-            &query,
-            &config,
-            &mut r_strategy,
-        ));
+        let random_answers =
+            answers_of(uniform_system.answer_with_strategy(&db, &query, &config, &mut r_strategy));
 
         let rock_answers: Vec<Tuple> = rock
             .answer(row as RowId, 10)

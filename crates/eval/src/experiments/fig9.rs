@@ -9,8 +9,8 @@
 //! and accuracy rises as k shrinks.
 
 use aimq::EngineConfig;
-use aimq_catalog::ImpreciseQuery;
 use aimq_afd::EncodedRelation;
+use aimq_catalog::ImpreciseQuery;
 use aimq_catalog::Tuple;
 use aimq_data::{CensusDb, IncomeClass};
 use aimq_rock::{RockConfig, RockModel};
@@ -80,7 +80,9 @@ pub fn run(scale: Scale, seed: u64) -> Fig9Result {
 
     // Train AIMQ on a 15k-scale sample.
     let sample_size = scale.size(15_000);
-    let sample = db.relation().random_sample(sample_size, seed.wrapping_add(1));
+    let sample = db
+        .relation()
+        .random_sample(sample_size, seed.wrapping_add(1));
     let system = train_census(&sample);
 
     // ROCK over the full relation.

@@ -16,9 +16,7 @@ use aimq_rock::{RockConfig, RockModel};
 use aimq_sim::build_supertuples;
 use aimq_storage::Relation;
 
-use crate::experiments::common::{
-    cardb_buckets, census_buckets, train_cardb, train_census,
-};
+use crate::experiments::common::{cardb_buckets, census_buckets, train_cardb, train_census};
 use crate::{Scale, TextTable};
 
 /// Offline timings for one dataset.

@@ -37,12 +37,12 @@ impl Table3Result {
     /// The paper's claim: the top similar value agrees between sample and
     /// full data for every probed AV-pair (that has any similar values).
     pub fn top_value_agrees(&self) -> bool {
-        self.rows.iter().all(|r| {
-            match (r.small.first(), r.full.first()) {
+        self.rows
+            .iter()
+            .all(|r| match (r.small.first(), r.full.first()) {
                 (Some(s), Some(f)) => s.0 == f.0,
                 _ => true,
-            }
-        })
+            })
     }
 
     /// Tie-tolerant form of the relative-ordering claim: for every probe,
@@ -50,9 +50,9 @@ impl Table3Result {
     /// the full data's top-3. Near-ties among e.g. economy makes can swap
     /// adjacent ranks between samples without changing the picture.
     pub fn top3_overlap_ok(&self, min_overlap: usize) -> bool {
-        self.rows.iter().all(|r| {
-            Self::overlap(r) >= min_overlap.min(r.small.len()).min(r.full.len())
-        })
+        self.rows
+            .iter()
+            .all(|r| Self::overlap(r) >= min_overlap.min(r.small.len()).min(r.full.len()))
     }
 
     /// Mean top-3 overlap across probes (0..=3). Sparse probe values
@@ -62,7 +62,11 @@ impl Table3Result {
         if self.rows.is_empty() {
             return 0.0;
         }
-        self.rows.iter().map(|r| Self::overlap(r) as f64).sum::<f64>() / self.rows.len() as f64
+        self.rows
+            .iter()
+            .map(|r| Self::overlap(r) as f64)
+            .sum::<f64>()
+            / self.rows.len() as f64
     }
 
     fn overlap(r: &Table3Row) -> usize {
@@ -97,7 +101,11 @@ impl Table3Result {
                         (v.clone(), format!("{s:.3}"))
                     });
                 t.row(vec![
-                    if i == 0 { row.query_value.clone() } else { String::new() },
+                    if i == 0 {
+                        row.query_value.clone()
+                    } else {
+                        String::new()
+                    },
                     sv,
                     ss,
                     fv,
@@ -210,7 +218,9 @@ mod tests {
             .find(|row| row.query_value == "Make=Kia")
             .unwrap();
         assert!(
-            !kia.full.iter().any(|(v, _)| v == "BMW" || v == "Mercedes-Benz"),
+            !kia.full
+                .iter()
+                .any(|(v, _)| v == "BMW" || v == "Mercedes-Benz"),
             "luxury make among Kia's top-3: {:?}",
             kia.full
         );

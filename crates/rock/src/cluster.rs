@@ -1,4 +1,4 @@
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// `f(θ) = (1 − θ) / (1 + θ)` — ROCK's estimate of the exponent governing
 /// how many neighbors a point has inside its cluster.
@@ -67,7 +67,7 @@ impl Ord for HeapEntry {
 
 struct Cluster {
     members: Vec<u32>,
-    links: HashMap<u32, u64>,
+    links: BTreeMap<u32, u64>,
 }
 
 /// ROCK's greedy agglomerative clustering: repeatedly merge the cluster
@@ -79,7 +79,7 @@ struct Cluster {
 /// pop) when either endpoint has since been merged away or the cached link
 /// count is stale — `O(E log E)` overall.
 pub fn cluster_greedy(
-    links: &HashMap<(u32, u32), u32>,
+    links: &BTreeMap<(u32, u32), u32>,
     n_points: usize,
     theta: f64,
     target: usize,
@@ -101,7 +101,7 @@ pub fn cluster_greedy(
         .map(|i| {
             Some(Cluster {
                 members: vec![i as u32],
-                links: HashMap::new(),
+                links: BTreeMap::new(),
             })
         })
         .collect();
@@ -110,8 +110,14 @@ pub fn cluster_greedy(
         if l == 0 {
             continue;
         }
-        clusters[a as usize].as_mut().unwrap().links.insert(b, l);
-        clusters[b as usize].as_mut().unwrap().links.insert(a, l);
+        // Link keys index `members`; out-of-range pairs (a caller bug)
+        // are dropped rather than panicking.
+        if let Some(ca) = clusters.get_mut(a as usize).and_then(Option::as_mut) {
+            ca.links.insert(b, l);
+        }
+        if let Some(cb) = clusters.get_mut(b as usize).and_then(Option::as_mut) {
+            cb.links.insert(a, l);
+        }
     }
 
     let mut heap = BinaryHeap::with_capacity(links.len());
@@ -131,22 +137,25 @@ pub fn cluster_greedy(
         let Some(entry) = heap.pop() else { break };
         let (a, b) = (entry.a as usize, entry.b as usize);
         // Lazy invalidation: skip dead or stale entries.
-        let (Some(ca), Some(_cb)) = (&clusters[a], &clusters[b]) else {
-            continue;
+        let fresh = match (&clusters[a], &clusters[b]) {
+            (Some(ca), Some(_)) => ca.links.get(&entry.b).copied().unwrap_or(0) == entry.links,
+            _ => false,
         };
-        if ca.links.get(&entry.b).copied().unwrap_or(0) != entry.links {
+        if !fresh {
             continue;
         }
 
-        // Merge a and b into a fresh cluster.
-        let ca = clusters[a].take().unwrap();
-        let cb = clusters[b].take().unwrap();
+        // Merge a and b into a fresh cluster. Both slots were just
+        // checked alive; the let-else merely keeps this panic-free.
+        let (Some(ca), Some(cb)) = (clusters[a].take(), clusters[b].take()) else {
+            continue;
+        };
         let new_id = clusters.len() as u32;
         let mut members = ca.members;
         members.extend(cb.members);
 
         // Combined link table: neighbors of either operand.
-        let mut merged_links: HashMap<u32, u64> = HashMap::new();
+        let mut merged_links: BTreeMap<u32, u64> = BTreeMap::new();
         for (src, other_id) in [(&ca.links, entry.b), (&cb.links, entry.a)] {
             for (&x, &l) in src {
                 if x == other_id {
@@ -159,9 +168,11 @@ pub fn cluster_greedy(
         // Rewire neighbors and push fresh heap entries.
         let new_size = members.len();
         for (&x, &l) in &merged_links {
-            let xc = clusters[x as usize]
-                .as_mut()
-                .expect("links only reference alive clusters");
+            // Links only reference alive clusters; a dead neighbor would
+            // be an invalidation bug and its entry is simply dropped.
+            let Some(xc) = clusters.get_mut(x as usize).and_then(Option::as_mut) else {
+                continue;
+            };
             xc.links.remove(&(entry.a));
             xc.links.remove(&(entry.b));
             xc.links.insert(new_id, l);
@@ -198,7 +209,7 @@ pub fn cluster_greedy(
 mod tests {
     use super::*;
 
-    fn links_of(pairs: &[((u32, u32), u32)]) -> HashMap<(u32, u32), u32> {
+    fn links_of(pairs: &[((u32, u32), u32)]) -> BTreeMap<(u32, u32), u32> {
         pairs.iter().copied().collect()
     }
 
@@ -265,7 +276,7 @@ mod tests {
 
     #[test]
     fn empty_input() {
-        let c = cluster_greedy(&HashMap::new(), 0, 0.5, 1);
+        let c = cluster_greedy(&BTreeMap::new(), 0, 0.5, 1);
         assert!(c.is_empty());
     }
 

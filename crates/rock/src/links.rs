@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use aimq_storage::RowId;
 
@@ -13,8 +13,13 @@ use crate::PointSet;
 ///    `O(Σ deg²)`, the ROCK paper's algorithm.
 ///
 /// Returns the (sparse, symmetric) link map keyed by `(i, j)` with
-/// `i < j`, where `i`, `j` index into `members`.
-pub fn compute_links(points: &PointSet, members: &[RowId], theta: f64) -> HashMap<(u32, u32), u32> {
+/// `i < j`, where `i`, `j` index into `members` — a `BTreeMap` so every
+/// downstream iteration (heap seeding, merges) is deterministic.
+pub fn compute_links(
+    points: &PointSet,
+    members: &[RowId],
+    theta: f64,
+) -> BTreeMap<(u32, u32), u32> {
     let n = members.len();
     // Neighbor lists over member indices.
     let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); n];
@@ -27,7 +32,7 @@ pub fn compute_links(points: &PointSet, members: &[RowId], theta: f64) -> HashMa
         }
     }
 
-    let mut links: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut links: BTreeMap<(u32, u32), u32> = BTreeMap::new();
     for nbrs in &neighbors {
         for (a_idx, &a) in nbrs.iter().enumerate() {
             for &b in &nbrs[a_idx + 1..] {

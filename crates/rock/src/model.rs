@@ -109,7 +109,7 @@ impl RockModel {
             }
         }
         let ft = f_theta(config.theta);
-        let in_sample: std::collections::HashSet<RowId> = sample_rows.iter().copied().collect();
+        let in_sample: std::collections::BTreeSet<RowId> = sample_rows.iter().copied().collect();
         let mut labeled: Vec<(RowId, u32)> = Vec::new();
         for row in 0..n as RowId {
             if in_sample.contains(&row) {
@@ -187,9 +187,7 @@ impl RockModel {
             .filter(|&&m| m != row)
             .map(|&m| (m, self.points.sim(row, m)))
             .collect();
-        scored.sort_by(|a, b| {
-            b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0))
-        });
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         scored.truncate(k);
         scored
     }
@@ -253,7 +251,11 @@ mod tests {
                 theta: 0.4,
                 target_clusters: 2,
                 sample_size: 6, // force labeling of the rest
-                seed: 3,
+                // A seed whose 6-row sample draws 3 tuples from each
+                // family: two sampled family members alone can never
+                // merge (no common neighbor), so a thinner sample
+                // cannot exhibit the clustering this fixture exercises.
+                seed: 1,
                 min_cluster_size: 1,
             },
         )
@@ -287,7 +289,7 @@ mod tests {
         let answers = m.answer(0, 10);
         assert!(!answers.is_empty());
         assert!(answers.len() <= 3); // own cluster minus self
-        // All answers from the same family.
+                                     // All answers from the same family.
         for &(row, sim) in &answers {
             assert!((1..4).contains(&row), "row {row} not in family 1");
             assert!(sim > 0.0);

@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A bag (multiset) of feature codes with occurrence counts — one entry of
 /// a supertuple (e.g. the `Color` bag of `Make=Ford`: `White:5, Black:5,
@@ -17,20 +17,20 @@ impl Bag {
         Bag::default()
     }
 
-    /// Build from unsorted (code, count) accumulation.
-    pub fn from_counts(counts: &HashMap<u32, u32>) -> Self {
-        let mut entries: Vec<(u32, u32)> = counts
+    /// Build from a (code, count) accumulation. The map's key order
+    /// already matches the bag's sorted representation.
+    pub fn from_counts(counts: &BTreeMap<u32, u32>) -> Self {
+        let entries: Vec<(u32, u32)> = counts
             .iter()
             .filter(|&(_, &c)| c > 0)
             .map(|(&k, &v)| (k, v))
             .collect();
-        entries.sort_unstable_by_key(|&(k, _)| k);
         Bag { entries }
     }
 
     /// Build from an iterator of codes, counting multiplicities.
     pub fn from_codes(codes: impl IntoIterator<Item = u32>) -> Self {
-        let mut counts = HashMap::new();
+        let mut counts = BTreeMap::new();
         for c in codes {
             *counts.entry(c).or_insert(0) += 1;
         }
@@ -161,7 +161,7 @@ mod tests {
 
     #[test]
     fn zero_counts_filtered() {
-        let mut m = HashMap::new();
+        let mut m = BTreeMap::new();
         m.insert(4u32, 0u32);
         m.insert(5u32, 2u32);
         let b = Bag::from_counts(&m);

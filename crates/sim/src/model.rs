@@ -64,18 +64,14 @@ impl ValueSimMatrix {
         };
         let mut scored: Vec<(String, f64)> = (0..self.n as u32)
             .filter(|&c| c != code)
-            .map(|c| {
-                (
-                    self.dict.value_of(c).expect("dense code").to_owned(),
-                    self.similarity(code, c),
-                )
+            .filter_map(|c| {
+                // Codes 0..n are dense in the training dictionary; a miss
+                // would be a persistence bug and is skipped, not a panic.
+                let name = self.dict.value_of(c)?;
+                Some((name.to_owned(), self.similarity(code, c)))
             })
             .collect();
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         scored.truncate(k);
         scored
     }
@@ -132,11 +128,7 @@ impl SimilarityModel {
     /// the average number of distinct values per categorical attribute and
     /// `b` the bag size — the paper's claimed advantage over ROCK's
     /// `O(n³)` in the number of *tuples* (Section 6.1).
-    pub fn build(
-        relation: &Relation,
-        ordering: &AttributeOrdering,
-        config: &SimConfig,
-    ) -> Self {
+    pub fn build(relation: &Relation, ordering: &AttributeOrdering, config: &SimConfig) -> Self {
         let schema = relation.schema().clone();
         let enc = EncodedRelation::encode(relation, &config.bucket);
 
@@ -171,14 +163,14 @@ impl SimilarityModel {
         let schema = relation.schema().clone();
         let enc = EncodedRelation::encode(relation, &config.bucket);
 
-        let matrices = crossbeam::thread::scope(|scope| {
+        let matrices = std::thread::scope(|scope| {
             let handles: Vec<_> = schema
                 .attr_ids()
                 .map(|attr| match schema.domain(attr) {
                     Domain::Numeric => None,
                     Domain::Categorical => {
                         let (schema, enc) = (&schema, &enc);
-                        Some(scope.spawn(move |_| {
+                        Some(scope.spawn(move || {
                             Self::build_matrix(relation, enc, ordering, schema, attr)
                         }))
                     }
@@ -186,10 +178,16 @@ impl SimilarityModel {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.map(|handle| handle.join().expect("matrix worker panicked")))
+                .map(|h| {
+                    h.map(|handle| match handle.join() {
+                        Ok(matrix) => matrix,
+                        // A worker panic is a bug in build_matrix;
+                        // surface it on the caller's thread unchanged.
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
+                })
                 .collect::<Vec<Option<ValueSimMatrix>>>()
-        })
-        .expect("similarity worker pool");
+        });
         let bucket_specs = schema.attr_ids().map(|a| enc.bucket_spec(a)).collect();
 
         SimilarityModel {
@@ -233,11 +231,17 @@ impl SimilarityModel {
         schema: &Schema,
         attr: AttrId,
     ) -> ValueSimMatrix {
-        let dict = relation
-            .column(attr)
-            .dictionary()
-            .expect("categorical column")
-            .clone();
+        let Some(dict) = relation.column(attr).dictionary().cloned() else {
+            // Only categorical attributes reach build_matrix, and their
+            // columns always carry a dictionary; should that invariant
+            // ever break, an empty matrix (similarity 0 everywhere)
+            // degrades gracefully instead of panicking.
+            return ValueSimMatrix {
+                dict: Dictionary::new(),
+                n: 0,
+                sims: Vec::new(),
+            };
+        };
         let n = dict.len();
         let supertuples = build_supertuples(enc, attr);
         debug_assert_eq!(supertuples.len(), n);
@@ -322,9 +326,7 @@ impl SimilarityModel {
         query
             .bindings()
             .iter()
-            .map(|&(attr, ref qv)| {
-                (attr, self.attribute_similarity(attr, qv, tuple.value(attr)))
-            })
+            .map(|&(attr, ref qv)| (attr, self.attribute_similarity(attr, qv, tuple.value(attr))))
             .collect()
     }
 
@@ -393,12 +395,7 @@ mod tests {
             .map(|&(mk, md, p, c)| {
                 Tuple::new(
                     &schema,
-                    vec![
-                        Value::cat(mk),
-                        Value::cat(md),
-                        Value::num(p),
-                        Value::cat(c),
-                    ],
+                    vec![Value::cat(mk), Value::cat(md), Value::num(p), Value::cat(c)],
                 )
                 .unwrap()
             })
@@ -409,8 +406,8 @@ mod tests {
     fn model() -> SimilarityModel {
         let rel = training_relation();
         let schema = rel.schema().clone();
-        let bucket = BucketConfig::for_schema(&schema)
-            .with_spec(AttrId(2), BucketSpec::width(5000.0));
+        let bucket =
+            BucketConfig::for_schema(&schema).with_spec(AttrId(2), BucketSpec::width(5000.0));
         let enc = EncodedRelation::encode(&rel, &bucket);
         let mined = MinedDependencies::mine(&enc, &TaneConfig::default());
         let ordering = AttributeOrdering::derive(&schema, &mined).unwrap();
@@ -421,8 +418,8 @@ mod tests {
     fn parallel_build_matches_sequential() {
         let rel = training_relation();
         let schema = rel.schema().clone();
-        let bucket = BucketConfig::for_schema(&schema)
-            .with_spec(AttrId(2), BucketSpec::width(5000.0));
+        let bucket =
+            BucketConfig::for_schema(&schema).with_spec(AttrId(2), BucketSpec::width(5000.0));
         let enc = EncodedRelation::encode(&rel, &bucket);
         let mined = MinedDependencies::mine(&enc, &TaneConfig::default());
         let ordering = AttributeOrdering::derive(&schema, &mined).unwrap();
@@ -491,7 +488,11 @@ mod tests {
         assert!(top[0].1 >= top[1].1);
         assert_eq!(top[0].0, "Accord");
         // Unknown value yields empty list.
-        assert!(m.matrix(AttrId(1)).unwrap().top_similar("Vega", 3).is_empty());
+        assert!(m
+            .matrix(AttrId(1))
+            .unwrap()
+            .top_similar("Vega", 3)
+            .is_empty());
     }
 
     #[test]
@@ -568,12 +569,7 @@ mod tests {
         let schema = m.schema().clone();
         let base = Tuple::new(
             &schema,
-            vec![
-                Value::Null,
-                Value::cat("Camry"),
-                Value::Null,
-                Value::Null,
-            ],
+            vec![Value::Null, Value::cat("Camry"), Value::Null, Value::Null],
         )
         .unwrap();
         let other = Tuple::new(

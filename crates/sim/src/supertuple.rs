@@ -1,7 +1,7 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-use aimq_catalog::AttrId;
 use aimq_afd::EncodedRelation;
+use aimq_catalog::AttrId;
 
 use crate::Bag;
 
@@ -52,8 +52,7 @@ pub fn build_supertuples(enc: &EncodedRelation, attr: AttrId) -> Vec<SuperTuple>
     let own_codes = enc.codes(attr);
 
     // counts[value][other_attr] : feature code -> count
-    let mut counts: Vec<Vec<HashMap<u32, u32>>> =
-        vec![vec![HashMap::new(); n_attrs]; n_values];
+    let mut counts: Vec<Vec<BTreeMap<u32, u32>>> = vec![vec![BTreeMap::new(); n_attrs]; n_values];
     let mut support = vec![0u32; n_values];
 
     for (row, &value) in own_codes.iter().enumerate() {
@@ -111,19 +110,13 @@ mod tests {
             .map(|&(mk, md, p, c)| {
                 Tuple::new(
                     &schema,
-                    vec![
-                        Value::cat(mk),
-                        Value::cat(md),
-                        Value::num(p),
-                        Value::cat(c),
-                    ],
+                    vec![Value::cat(mk), Value::cat(md), Value::num(p), Value::cat(c)],
                 )
                 .unwrap()
             })
             .collect();
         let rel = Relation::from_tuples(schema.clone(), &tuples).unwrap();
-        let cfg = BucketConfig::for_schema(&schema)
-            .with_spec(AttrId(2), BucketSpec::width(5000.0));
+        let cfg = BucketConfig::for_schema(&schema).with_spec(AttrId(2), BucketSpec::width(5000.0));
         let enc = EncodedRelation::encode(&rel, &cfg);
         (rel, enc)
     }

@@ -43,12 +43,10 @@ impl Column {
     pub fn value(&self, row: usize) -> Value {
         match self {
             Column::Categorical { codes, dict } => {
-                let code = codes[row];
-                if code == NULL_CODE {
-                    Value::Null
-                } else {
-                    Value::cat(dict.value_of(code).expect("code interned by builder"))
-                }
+                // `NULL_CODE` falls outside every dictionary, so nulls and
+                // (would-be corruption) codes the builder never interned
+                // both decode to null instead of panicking.
+                dict.value_of(codes[row]).map_or(Value::Null, Value::cat)
             }
             Column::Numeric(vs) => {
                 let v = vs[row];

@@ -60,11 +60,22 @@ impl fmt::Display for CsvError {
             CsvError::HeaderMismatch { expected, actual } => {
                 write!(f, "header {actual:?} does not match schema {expected:?}")
             }
-            CsvError::FieldCount { line, expected, actual } => {
+            CsvError::FieldCount {
+                line,
+                expected,
+                actual,
+            } => {
                 write!(f, "line {line}: expected {expected} fields, got {actual}")
             }
-            CsvError::BadNumber { line, attribute, value } => {
-                write!(f, "line {line}: attribute {attribute} expects a number, got {value:?}")
+            CsvError::BadNumber {
+                line,
+                attribute,
+                value,
+            } => {
+                write!(
+                    f,
+                    "line {line}: attribute {attribute} expects a number, got {value:?}"
+                )
             }
             CsvError::UnterminatedQuote { line } => {
                 write!(f, "line {line}: unterminated quoted field")
@@ -259,8 +270,24 @@ mod tests {
     fn relation() -> Relation {
         let s = schema();
         let tuples = vec![
-            Tuple::new(&s, vec![Value::cat("Toyota"), Value::cat("Camry"), Value::num(10000.0)]).unwrap(),
-            Tuple::new(&s, vec![Value::cat("Ford"), Value::cat("F-350, XL"), Value::num(25000.5)]).unwrap(),
+            Tuple::new(
+                &s,
+                vec![
+                    Value::cat("Toyota"),
+                    Value::cat("Camry"),
+                    Value::num(10000.0),
+                ],
+            )
+            .unwrap(),
+            Tuple::new(
+                &s,
+                vec![
+                    Value::cat("Ford"),
+                    Value::cat("F-350, XL"),
+                    Value::num(25000.5),
+                ],
+            )
+            .unwrap(),
             Tuple::new(&s, vec![Value::Null, Value::cat("Say \"hi\""), Value::Null]).unwrap(),
         ];
         Relation::from_tuples(s, &tuples).unwrap()
@@ -311,7 +338,11 @@ mod tests {
     fn bad_number_reported_with_location() {
         let csv = "Make,Model,Price\nToyota,Camry,cheap\n";
         match read_csv(&schema(), csv.as_bytes()) {
-            Err(CsvError::BadNumber { line, attribute, value }) => {
+            Err(CsvError::BadNumber {
+                line,
+                attribute,
+                value,
+            }) => {
                 assert_eq!(line, 2);
                 assert_eq!(attribute, "Price");
                 assert_eq!(value, "cheap");
@@ -325,7 +356,11 @@ mod tests {
         let csv = "Make,Model,Price\nToyota,Camry\n";
         assert!(matches!(
             read_csv(&schema(), csv.as_bytes()),
-            Err(CsvError::FieldCount { line: 2, expected: 3, actual: 2 })
+            Err(CsvError::FieldCount {
+                line: 2,
+                expected: 3,
+                actual: 2
+            })
         ));
     }
 

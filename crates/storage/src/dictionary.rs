@@ -25,6 +25,7 @@ impl Dictionary {
         if let Some(&code) = self.index.get(value) {
             return code;
         }
+        // aimq-lint: allow(panic) -- hard capacity limit: 2^32 distinct strings cannot fit in memory, and wrapping codes would silently corrupt every consumer
         let code = u32::try_from(self.values.len()).expect("dictionary exceeds u32 codes");
         self.values.push(value.to_owned());
         self.index.insert(value.to_owned(), code);

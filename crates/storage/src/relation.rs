@@ -76,11 +76,7 @@ impl Relation {
 
     /// Decode row `row` into an owned [`Tuple`].
     pub fn tuple(&self, row: RowId) -> Tuple {
-        let values = self
-            .columns
-            .iter()
-            .map(|c| c.value(row as usize))
-            .collect();
+        let values = self.columns.iter().map(|c| c.value(row as usize)).collect();
         Tuple::from_values_unchecked(values)
     }
 
@@ -115,7 +111,11 @@ impl Relation {
 
     /// Rows whose categorical attribute `attr` holds the string `value`.
     pub fn rows_with_value(&self, attr: AttrId, value: &str) -> &[RowId] {
-        match self.column(attr).dictionary().and_then(|d| d.code_of(value)) {
+        match self
+            .column(attr)
+            .dictionary()
+            .and_then(|d| d.code_of(value))
+        {
             Some(code) => self.rows_with_code(attr, code),
             None => &[],
         }
@@ -152,7 +152,11 @@ impl Relation {
     pub fn project_rows(&self, rows: &[RowId]) -> Relation {
         let mut b = Relation::builder(self.schema.clone());
         for &r in rows {
-            b.push(&self.tuple(r)).expect("tuple from same schema");
+            // Tuples drawn from `self` validate against `self.schema` by
+            // construction; a failed push is impossible, so the row is
+            // flagged in debug builds rather than panicking in release.
+            let pushed = b.push(&self.tuple(r));
+            debug_assert!(pushed.is_ok(), "projecting own tuple failed: {pushed:?}");
         }
         b.build()
     }
@@ -200,7 +204,17 @@ impl RelationBuilder {
                 (Column::Categorical { codes, .. }, Value::Null) => codes.push(NULL_CODE),
                 (Column::Numeric(vs), Value::Num(n)) => vs.push(*n),
                 (Column::Numeric(vs), Value::Null) => vs.push(f64::NAN),
-                _ => unreachable!("validated above"),
+                // Excluded by the validation loop above; propagated as an
+                // error (not a panic) to keep storage panic-free.
+                (col, v) => {
+                    let attr = &self.schema.attributes()[i];
+                    debug_assert!(false, "validated tuple mismatched {col:?}");
+                    return Err(CatalogError::DomainMismatch {
+                        attribute: attr.name().to_owned(),
+                        expected: attr.domain().name(),
+                        actual: v.type_name(),
+                    });
+                }
             }
         }
         Ok(())

@@ -1,0 +1,275 @@
+//! `cargo xtask` — repo-specific static analysis for the AIMQ
+//! workspace.
+//!
+//! The headline command, `cargo xtask lint`, enforces three invariants
+//! that ordinary type-checking cannot (see DESIGN.md, "Static analysis
+//! & invariants"):
+//!
+//! - **L1 panic-freedom**: library crates route failures through the
+//!   `AimqError` taxonomy instead of panicking.
+//! - **L2 float-ordering safety**: similarity/importance scores are
+//!   compared with `f64::total_cmp`/`OrderedScore`, never the
+//!   NaN-unsafe `partial_cmp`.
+//! - **L3 mining determinism**: the mining/ranking crates (`afd`,
+//!   `sim`, `rock`) never iterate `HashMap`/`HashSet`, whose order
+//!   varies run to run.
+//!
+//! Diagnostics are rustc-style with file:line:col spans; per-line
+//! suppressions use `// aimq-lint: allow(<rule>) -- <justification>`
+//! and the justification is mandatory. The pass is a hand-rolled
+//! lexical scan (`source` module) because the offline build
+//! environment cannot fetch `syn`.
+
+pub mod rules;
+pub mod source;
+
+pub use rules::{Finding, RuleSet, Severity, KNOWN_RULES};
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Library crates under the panic-freedom + float-ordering rules.
+pub const PANIC_CRATES: &[&str] = &["catalog", "storage", "afd", "sim", "rock", "core"];
+
+/// Crates whose outputs feed sorted/ranked results and therefore must
+/// not iterate hash containers.
+pub const DETERMINISM_CRATES: &[&str] = &["afd", "sim", "rock"];
+
+/// A rendered-ready diagnostic bound to a file.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule id (`panic`, `indexing`, `float-ordering`, `hashmap`,
+    /// `lint-allow`).
+    pub rule: String,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Path relative to the lint root.
+    pub path: PathBuf,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Description of the violation.
+    pub message: String,
+    /// The offending source line, for the span rendering.
+    pub snippet: String,
+    /// Remedy note (empty when not applicable).
+    pub help: String,
+}
+
+/// Outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All diagnostics, in file-then-line order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Number of error-severity diagnostics.
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics.len() - self.errors()
+    }
+
+    /// `true` when the run should exit nonzero.
+    pub fn failed(&self, deny_warnings: bool) -> bool {
+        self.errors() > 0 || (deny_warnings && self.warnings() > 0)
+    }
+}
+
+/// Lint a workspace-shaped tree rooted at `root`: every `.rs` file
+/// under `crates/<name>/src/` for the crates the rules govern.
+pub fn lint_root(root: &Path) -> std::io::Result<LintReport> {
+    let mut report = LintReport::default();
+    let crates_dir = root.join("crates");
+    let mut names: Vec<String> = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let entry = entry?;
+        if entry.file_type()?.is_dir() {
+            names.push(entry.file_name().to_string_lossy().into_owned());
+        }
+    }
+    names.sort();
+    for name in names {
+        let ruleset = RuleSet {
+            panic_and_ordering: PANIC_CRATES.contains(&name.as_str()),
+            determinism: DETERMINISM_CRATES.contains(&name.as_str()),
+        };
+        if !ruleset.panic_and_ordering && !ruleset.determinism {
+            continue;
+        }
+        let src_dir = crates_dir.join(&name).join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files)?;
+        files.sort();
+        for file in files {
+            let text = std::fs::read_to_string(&file)?;
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+            lint_file(&text, &rel, ruleset, &mut report);
+        }
+    }
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if entry.file_type()?.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint one file's text under `ruleset`, appending to `report`.
+pub fn lint_file(text: &str, rel_path: &Path, ruleset: RuleSet, report: &mut LintReport) {
+    let scanned = source::scan(text);
+    let lines: Vec<&str> = text.lines().collect();
+    let snippet = |line: usize| -> String {
+        lines
+            .get(line.saturating_sub(1))
+            .map(|l| l.trim_end().to_string())
+            .unwrap_or_default()
+    };
+
+    // Malformed suppressions are themselves errors: an allow without a
+    // justification is indistinguishable from a shrug.
+    for (line, msg) in &scanned.bad_directives {
+        report.diagnostics.push(Diagnostic {
+            rule: "lint-allow".to_string(),
+            severity: Severity::Error,
+            path: rel_path.to_path_buf(),
+            line: *line,
+            col: 1,
+            message: msg.clone(),
+            snippet: snippet(*line),
+            help: String::new(),
+        });
+    }
+    // So are directives naming rules that do not exist: they silently
+    // suppress nothing and rot.
+    for allow in &scanned.allows {
+        for rule in &allow.rules {
+            if !KNOWN_RULES.contains(&rule.as_str()) {
+                report.diagnostics.push(Diagnostic {
+                    rule: "lint-allow".to_string(),
+                    severity: Severity::Error,
+                    path: rel_path.to_path_buf(),
+                    line: allow.line,
+                    col: 1,
+                    message: format!(
+                        "unknown rule `{rule}` in allow directive (known: {})",
+                        KNOWN_RULES.join(", ")
+                    ),
+                    snippet: snippet(allow.line),
+                    help: String::new(),
+                });
+            }
+        }
+    }
+
+    for finding in rules::check(&scanned, ruleset) {
+        if scanned.is_allowed(finding.rule, finding.line) {
+            continue;
+        }
+        report.diagnostics.push(Diagnostic {
+            rule: finding.rule.to_string(),
+            severity: finding.severity,
+            path: rel_path.to_path_buf(),
+            line: finding.line,
+            col: finding.col,
+            message: finding.message,
+            snippet: snippet(finding.line),
+            help: finding.help.to_string(),
+        });
+    }
+}
+
+/// Render one diagnostic rustc-style.
+pub fn render(diag: &Diagnostic) -> String {
+    let label = match diag.severity {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "{label}[aimq::{}]: {}", diag.rule, diag.message);
+    let _ = writeln!(
+        out,
+        "  --> {}:{}:{}",
+        diag.path.display(),
+        diag.line,
+        diag.col
+    );
+    let gutter = diag.line.to_string();
+    let pad = " ".repeat(gutter.len());
+    let _ = writeln!(out, "{pad} |");
+    let _ = writeln!(out, "{gutter} | {}", diag.snippet);
+    let caret_pad = " ".repeat(diag.col.saturating_sub(1));
+    let _ = writeln!(out, "{pad} | {caret_pad}^");
+    if !diag.help.is_empty() {
+        let _ = writeln!(out, "{pad} = help: {}", diag.help);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_file_reports_and_suppresses() {
+        let src = "\
+fn risky(xs: &[f64]) -> f64 {
+    let v = xs.first().unwrap();
+    *v
+}
+fn excused(xs: &[f64]) -> f64 {
+    // aimq-lint: allow(panic) -- the caller guarantees non-empty input
+    *xs.first().unwrap()
+}
+";
+        let mut report = LintReport::default();
+        lint_file(
+            src,
+            Path::new("crates/afd/src/x.rs"),
+            RuleSet {
+                panic_and_ordering: true,
+                determinism: true,
+            },
+            &mut report,
+        );
+        assert_eq!(report.errors(), 1, "{:#?}", report.diagnostics);
+        assert_eq!(report.diagnostics[0].line, 2);
+    }
+
+    #[test]
+    fn render_is_rustc_shaped() {
+        let diag = Diagnostic {
+            rule: "panic".into(),
+            severity: Severity::Error,
+            path: PathBuf::from("crates/afd/src/x.rs"),
+            line: 2,
+            col: 24,
+            message: "`.unwrap()` in library code can panic".into(),
+            snippet: "    let v = xs.first().unwrap();".into(),
+            help: "propagate instead".into(),
+        };
+        let text = render(&diag);
+        assert!(text.contains("error[aimq::panic]"));
+        assert!(text.contains("--> crates/afd/src/x.rs:2:24"));
+        assert!(text.contains("= help:"));
+    }
+}

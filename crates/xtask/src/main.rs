@@ -1,0 +1,85 @@
+//! CLI for the workspace's static-analysis suite.
+//!
+//! ```text
+//! cargo xtask lint                 # lint the workspace, exit 1 on errors
+//! cargo xtask lint --deny-warnings # promote warnings (indexing) too
+//! cargo xtask lint --root DIR      # lint a workspace-shaped tree (fixtures)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(args.collect()),
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`");
+            usage();
+            ExitCode::from(2)
+        }
+        None => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo xtask lint [--root DIR] [--deny-warnings]");
+}
+
+fn lint(args: Vec<String>) -> ExitCode {
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let mut deny_warnings = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--deny-warnings" => deny_warnings = true,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match xtask::lint_root(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("error: failed to lint {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for diag in &report.diagnostics {
+        print!("{}", xtask::render(diag));
+        println!();
+    }
+    let (errors, warnings) = (report.errors(), report.warnings());
+    if errors > 0 || warnings > 0 {
+        println!(
+            "aimq-lint: {errors} error{}, {warnings} warning{}",
+            if errors == 1 { "" } else { "s" },
+            if warnings == 1 { "" } else { "s" },
+        );
+    } else {
+        println!("aimq-lint: clean");
+    }
+    if report.failed(deny_warnings) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,239 @@
+//! The three AIMQ lint rules, matched over a [`ScannedFile`].
+//!
+//! | id | severity | scope | what it catches |
+//! |---|---|---|---|
+//! | `panic` | error | six library crates | `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
+//! | `indexing` | warning | six library crates | direct `expr[...]` indexing/slicing |
+//! | `float-ordering` | error | six library crates | `.partial_cmp(` calls on scores |
+//! | `hashmap` | error | `afd`, `sim`, `rock` | any `HashMap`/`HashSet` use |
+//!
+//! `indexing` is warn-level by default — mirroring clippy's
+//! allow-by-default `indexing_slicing` — because invariant-backed
+//! indexing is pervasive in the hot paths; `--deny-warnings` promotes
+//! it for audits.
+
+use crate::source::ScannedFile;
+
+/// Lint severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the run.
+    Error,
+    /// Reported; fails only under `--deny-warnings`.
+    Warning,
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule identifier as used in `aimq-lint: allow(...)`.
+    pub rule: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable description.
+    pub message: String,
+    /// Suggested remedy, rendered as a `help:` note.
+    pub help: &'static str,
+}
+
+/// Which rule families apply to a crate.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleSet {
+    /// L1 panic-freedom + L2 float ordering.
+    pub panic_and_ordering: bool,
+    /// L3 determinism (HashMap/HashSet ban).
+    pub determinism: bool,
+}
+
+/// Keywords that can legitimately precede `[` without it being an
+/// indexing expression (slice patterns, `for x in [..]`, etc.).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "in", "match", "if", "while", "return", "mut", "ref", "move", "else", "static", "const",
+    "as", "dyn", "impl", "where", "for", "loop", "break", "use", "pub", "fn", "enum", "struct",
+    "type", "trait", "unsafe", "extern", "box", "await", "yield",
+];
+
+/// Run every applicable rule over `file`, honoring test regions and
+/// suppressions. Suppressed findings are dropped; malformed directives
+/// surface as `lint-allow` errors from [`crate::lint_file`].
+pub fn check(file: &ScannedFile, rules: RuleSet) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let toks = &file.tokens;
+    for k in 0..toks.len() {
+        if file.in_test_region(toks[k].offset) {
+            continue;
+        }
+        let t = &toks[k];
+        let prev = k.checked_sub(1).map(|p| &toks[p]);
+        let next = toks.get(k + 1);
+
+        if rules.panic_and_ordering {
+            // `.unwrap()` / `.expect(`
+            if (t.text == "unwrap" || t.text == "expect")
+                && prev.is_some_and(|p| p.text == ".")
+                && next.is_some_and(|n| n.text == "(")
+            {
+                findings.push(Finding {
+                    rule: "panic",
+                    severity: Severity::Error,
+                    line: t.line,
+                    col: t.col,
+                    message: format!("`.{}()` in library code can panic", t.text),
+                    help: "propagate through the AimqError taxonomy (`?`, `ok_or`, `unwrap_or`) \
+                           or justify with `// aimq-lint: allow(panic) -- <invariant>`",
+                });
+            }
+            // `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+            if matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            ) && next.is_some_and(|n| n.text == "!")
+                && !prev.is_some_and(|p| p.text == "." || p.text == ":")
+            {
+                findings.push(Finding {
+                    rule: "panic",
+                    severity: Severity::Error,
+                    line: t.line,
+                    col: t.col,
+                    message: format!("`{}!` in library code", t.text),
+                    help:
+                        "return an AimqError variant (or debug_assert! for internal invariants); \
+                           justify exceptions with `// aimq-lint: allow(panic) -- <invariant>`",
+                });
+            }
+            // `.partial_cmp(` — NaN-unsafe comparison on similarity /
+            // importance scores.
+            if t.text == "partial_cmp"
+                && prev.is_some_and(|p| p.text == ".")
+                && next.is_some_and(|n| n.text == "(")
+            {
+                findings.push(Finding {
+                    rule: "float-ordering",
+                    severity: Severity::Error,
+                    line: t.line,
+                    col: t.col,
+                    message: "`.partial_cmp()` on scores is NaN-unsafe and breaks total ranking"
+                        .to_string(),
+                    help: "use `f64::total_cmp`, `aimq_catalog::OrderedScore`, or justify with \
+                           `// aimq-lint: allow(float-ordering) -- <why NaN cannot occur>`",
+                });
+            }
+            // Direct indexing `expr[...]` (warn-level).
+            if t.text == "["
+                && prev.is_some_and(|p| {
+                    (p.is_ident && !NON_INDEX_KEYWORDS.contains(&p.text.as_str()))
+                        || p.text == ")"
+                        || p.text == "]"
+                })
+            {
+                findings.push(Finding {
+                    rule: "indexing",
+                    severity: Severity::Warning,
+                    line: t.line,
+                    col: t.col,
+                    message: "direct indexing can panic on out-of-range input".to_string(),
+                    help: "prefer `.get()`/`.get_mut()` with error propagation where the index \
+                           is not invariant-backed",
+                });
+            }
+        }
+
+        if rules.determinism && (t.text == "HashMap" || t.text == "HashSet") && t.is_ident {
+            findings.push(Finding {
+                rule: "hashmap",
+                severity: Severity::Error,
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` iteration order is nondeterministic; mining/ranking crates must be \
+                     reproducible",
+                    t.text
+                ),
+                help: "use BTreeMap/BTreeSet, or keep the map and justify with \
+                       `// aimq-lint: allow(hashmap) -- <the keyed sort that restores order>`",
+            });
+        }
+    }
+    findings
+}
+
+/// Every rule id accepted inside `aimq-lint: allow(...)`.
+pub const KNOWN_RULES: &[&str] = &["panic", "indexing", "float-ordering", "hashmap"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::scan;
+
+    const ALL: RuleSet = RuleSet {
+        panic_and_ordering: true,
+        determinism: true,
+    };
+
+    fn rules_hit(src: &str) -> Vec<&'static str> {
+        check(&scan(src), ALL).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_and_expect_are_flagged() {
+        assert_eq!(rules_hit("fn f() { x.unwrap(); }"), vec!["panic"]);
+        assert_eq!(rules_hit("fn f() { x.expect(\"m\"); }"), vec!["panic"]);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_not_flagged() {
+        assert!(rules_hit("fn f() { x.unwrap_or(0); x.unwrap_or_else(f); }").is_empty());
+    }
+
+    #[test]
+    fn panic_macros_are_flagged() {
+        assert_eq!(rules_hit("fn f() { panic!(\"boom\"); }"), vec!["panic"]);
+        assert_eq!(rules_hit("fn f() { unreachable!() }"), vec!["panic"]);
+    }
+
+    #[test]
+    fn partial_cmp_call_is_flagged_but_definition_is_not() {
+        assert_eq!(
+            rules_hit("fn f() { a.partial_cmp(&b); }"),
+            vec!["float-ordering"]
+        );
+        assert!(rules_hit("fn partial_cmp(a: f64) {}").is_empty());
+    }
+
+    #[test]
+    fn indexing_is_a_warning() {
+        let f = check(&scan("fn f() { let y = xs[0]; }"), ALL);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "indexing");
+        assert_eq!(f[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn slice_patterns_and_array_types_are_not_indexing() {
+        assert!(rules_hit("fn f(xs: [f64; 3]) { let [a, b, c] = xs; }").is_empty());
+        assert!(rules_hit("fn f() { for x in [1, 2] {} }").is_empty());
+        assert!(rules_hit("fn f() { let v = vec![1, 2]; }").is_empty());
+    }
+
+    #[test]
+    fn hashmap_flagged_only_under_determinism() {
+        let src = "use std::collections::HashMap;";
+        assert_eq!(rules_hit(src), vec!["hashmap"]);
+        let only_panic = RuleSet {
+            panic_and_ordering: true,
+            determinism: false,
+        };
+        assert!(check(&scan(src), only_panic).is_empty());
+    }
+
+    #[test]
+    fn test_module_code_is_exempt() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}";
+        assert!(rules_hit(src).is_empty());
+    }
+}

@@ -26,8 +26,7 @@ fn main() {
     // Same pipeline as CarDB — nothing census-specific beyond bucket
     // widths for the numeric attributes.
     let sample = db.relation().random_sample(6_000, 1);
-    let system = AimqSystem::train(&sample, &TrainConfig::default())
-        .expect("sample is non-empty");
+    let system = AimqSystem::train(&sample, &TrainConfig::default()).expect("sample is non-empty");
 
     let ordering = system.ordering();
     println!("mined relaxation order over {}:", schema.name());
@@ -79,10 +78,7 @@ fn main() {
     let edu = schema.attr_id("Education").unwrap();
     if let Some(matrix) = system.model().matrix(edu) {
         let top = matrix.top_similar("Bachelors", 3);
-        let rendered: Vec<String> = top
-            .iter()
-            .map(|(v, s)| format!("{v} ({s:.3})"))
-            .collect();
+        let rendered: Vec<String> = top.iter().map(|(v, s)| format!("{v} ({s:.3})")).collect();
         println!("\nEducation=Bachelors ~ {}", rendered.join(", "));
     }
 }

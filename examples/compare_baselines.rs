@@ -67,7 +67,10 @@ fn main() {
                 .sum::<f64>()
                 / answers.len() as f64
         };
-        println!("{label}: {} answers, oracle similarity {oracle_avg:.3}", answers.len());
+        println!(
+            "{label}: {} answers, oracle similarity {oracle_avg:.3}",
+            answers.len()
+        );
         for t in answers.iter().take(5) {
             println!(
                 "  oracle={:.3}  {}",

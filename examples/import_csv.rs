@@ -58,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("\n{} →", query.display_with(&schema));
     for a in &result.answers {
-        println!("  sim={:.3} {}", a.similarity, a.tuple.display_with(&schema));
+        println!(
+            "  sim={:.3} {}",
+            a.similarity,
+            a.tuple.display_with(&schema)
+        );
     }
 
     std::fs::remove_file(&path).ok();

@@ -16,7 +16,11 @@ fn main() {
     // An autonomous Web database: 20,000 used-car listings reachable only
     // through boolean selection queries.
     let db = InMemoryWebDb::new(CarDb::generate(20_000, 42));
-    println!("source relation: {} ({} tuples)", db.schema(), db.relation().len());
+    println!(
+        "source relation: {} ({} tuples)",
+        db.schema(),
+        db.relation().len()
+    );
 
     // Offline phase: collect a sample and mine attribute importance +
     // value similarities. No user input, no domain knowledge.
@@ -24,7 +28,10 @@ fn main() {
     let schema = db.schema().clone();
     let bucket = BucketConfig::for_schema(&schema)
         .with_spec(schema.attr_id("Price").unwrap(), BucketSpec::width(2_000.0))
-        .with_spec(schema.attr_id("Mileage").unwrap(), BucketSpec::width(10_000.0));
+        .with_spec(
+            schema.attr_id("Mileage").unwrap(),
+            BucketSpec::width(10_000.0),
+        );
     let system = AimqSystem::train(
         &sample,
         &TrainConfig {

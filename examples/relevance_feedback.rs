@@ -71,7 +71,10 @@ fn main() {
             .attr_ids()
             .map(|a| format!("{}={:.2}", schema.attr_name(a), tuner.weight(a)))
             .collect();
-        println!("round {round}: {liked}/10 liked | weights: {}", weights.join(" "));
+        println!(
+            "round {round}: {liked}/10 liked | weights: {}",
+            weights.join(" ")
+        );
 
         // The user judges this round's top-10.
         for answer in ranked.iter().take(10) {

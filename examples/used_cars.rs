@@ -49,7 +49,11 @@ fn main() {
     );
     println!("strongest AFDs:");
     let mut afds: Vec<_> = mined.afds().iter().collect();
-    afds.sort_by(|a, b| a.error.total_cmp(&b.error).then(a.lhs.len().cmp(&b.lhs.len())));
+    afds.sort_by(|a, b| {
+        a.error
+            .total_cmp(&b.error)
+            .then(a.lhs.len().cmp(&b.lhs.len()))
+    });
     for afd in afds.iter().take(5) {
         println!(
             "  {} → {}  (support {:.3})",
@@ -86,10 +90,7 @@ fn main() {
         let attr = schema.attr_id(attr_name).unwrap();
         if let Some(matrix) = system.model().matrix(attr) {
             let top = matrix.top_similar(value, 3);
-            let rendered: Vec<String> = top
-                .iter()
-                .map(|(v, s)| format!("{v} ({s:.3})"))
-                .collect();
+            let rendered: Vec<String> = top.iter().map(|(v, s)| format!("{v} ({s:.3})")).collect();
             println!("  {attr_name}={value} ~ {}", rendered.join(", "));
         }
     }

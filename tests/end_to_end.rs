@@ -106,8 +106,7 @@ fn every_relaxation_query_passes_through_the_boolean_interface() {
 fn guided_and_random_agree_on_relevance_but_not_cost() {
     let db = car_db(8_000, 21);
     let system = train(&db, 2_000);
-    let query =
-        ImpreciseQuery::from_tuple(&db.relation().tuple(100)).expect("non-null tuple");
+    let query = ImpreciseQuery::from_tuple(&db.relation().tuple(100)).expect("non-null tuple");
     let config = EngineConfig {
         t_sim: 0.7,
         top_k: 10,

@@ -88,7 +88,11 @@ fn fig67_guided_relaxation_is_cheaper_than_random() {
     // Work per relevant tuple can only grow (weakly) with the threshold
     // for the guided method — the paper's Figure 6 monotone shape.
     for w in r.guided.windows(2) {
-        assert!(w[1] + 1e-9 >= w[0] * 0.5, "guided series collapsed: {:?}", r.guided);
+        assert!(
+            w[1] + 1e-9 >= w[0] * 0.5,
+            "guided series collapsed: {:?}",
+            r.guided
+        );
     }
 }
 

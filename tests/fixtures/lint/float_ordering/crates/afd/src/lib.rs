@@ -1,0 +1,9 @@
+//! L2 fixture: one seeded NaN-unsafe score comparison.
+
+/// Sorts scores with `partial_cmp` — the seeded violation.
+pub fn rank(mut scored: Vec<(u32, f64)>) -> Vec<(u32, f64)> {
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    scored
+}

@@ -1,0 +1,13 @@
+//! L3 fixture: a hash container in a mining crate (`afd` is under the
+//! determinism rule).
+
+use std::collections::HashMap;
+
+/// Counts occurrences — iteration order of the result is nondeterministic.
+pub fn histogram(codes: &[u32]) -> HashMap<u32, u32> {
+    let mut counts = HashMap::new();
+    for &c in codes {
+        *counts.entry(c).or_insert(0) += 1;
+    }
+    counts
+}

@@ -1,0 +1,13 @@
+//! Control: `catalog` is not a determinism crate, so a hash container
+//! here is NOT a violation (only the panic/ordering rules apply).
+
+use std::collections::HashMap;
+
+/// Lookup index; iteration order never reaches an output.
+pub fn index(names: &[String]) -> HashMap<&str, usize> {
+    names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect()
+}

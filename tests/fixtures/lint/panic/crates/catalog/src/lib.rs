@@ -1,0 +1,7 @@
+//! L1 fixture: one seeded panic-rule violation in library code.
+
+/// The `.unwrap()` below is the seeded violation the fixture test
+/// expects the linter to flag.
+pub fn first(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}

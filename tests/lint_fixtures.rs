@@ -1,0 +1,135 @@
+//! Drives `cargo xtask lint` (via the `xtask` library) against the
+//! fixture trees under `tests/fixtures/lint/`. Each seeded tree plants
+//! exactly one kind of violation; the clean tree must pass outright.
+//!
+//! The fixtures are workspace-shaped (`<root>/crates/<name>/src/*.rs`)
+//! so `lint_root` applies the same crate-scoped rule selection it uses
+//! on the real repo: `catalog` gets the panic/float-ordering rules,
+//! `afd` additionally gets the determinism rule.
+
+use std::path::{Path, PathBuf};
+
+use xtask::{lint_root, LintReport, Severity};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/lint")
+        .join(name)
+}
+
+fn lint(name: &str) -> LintReport {
+    lint_root(&fixture(name)).unwrap_or_else(|e| panic!("linting fixture `{name}`: {e}"))
+}
+
+fn rules_of(report: &LintReport, severity: Severity) -> Vec<&str> {
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == severity)
+        .map(|d| d.rule.as_str())
+        .collect()
+}
+
+#[test]
+fn clean_fixture_passes() {
+    let report = lint("clean");
+    assert_eq!(
+        report.errors(),
+        0,
+        "clean tree must produce no errors: {:#?}",
+        report.diagnostics
+    );
+    assert_eq!(
+        report.warnings(),
+        0,
+        "clean tree must produce no warnings: {:#?}",
+        report.diagnostics
+    );
+    assert!(!report.failed(false));
+    assert!(!report.failed(true), "clean even under --deny-warnings");
+}
+
+#[test]
+fn panic_fixture_fails_with_panic_rule() {
+    let report = lint("panic");
+    assert!(report.failed(false));
+    assert_eq!(rules_of(&report, Severity::Error), vec!["panic"]);
+    let diag = &report.diagnostics[0];
+    assert!(diag.message.contains(".unwrap()"), "{diag:#?}");
+    assert!(diag.path.starts_with("crates/catalog"), "{diag:#?}");
+}
+
+#[test]
+fn float_ordering_fixture_fails_with_float_rule() {
+    let report = lint("float_ordering");
+    assert!(report.failed(false));
+    assert_eq!(rules_of(&report, Severity::Error), vec!["float-ordering"]);
+    // `.unwrap_or(...)` on the same expression must NOT also trip the
+    // panic rule — only the bare `.unwrap()`/`.expect(` forms panic.
+    assert_eq!(report.errors(), 1, "{:#?}", report.diagnostics);
+}
+
+#[test]
+fn hashmap_fixture_fails_only_in_determinism_crates() {
+    let report = lint("hashmap");
+    assert!(report.failed(false));
+    let errors = rules_of(&report, Severity::Error);
+    assert!(!errors.is_empty());
+    assert!(errors.iter().all(|r| *r == "hashmap"), "{errors:?}");
+    // `afd` is a determinism crate; `catalog` holds an identical
+    // HashMap use as a control and must stay silent.
+    for diag in &report.diagnostics {
+        assert!(
+            diag.path.starts_with("crates/afd"),
+            "hashmap flagged outside the determinism crates: {diag:#?}"
+        );
+    }
+}
+
+#[test]
+fn bad_allow_fixture_rejects_malformed_directives() {
+    let report = lint("bad_allow");
+    assert!(report.failed(false));
+    let errors = rules_of(&report, Severity::Error);
+    // One unjustified allow + one unknown-rule allow, and since neither
+    // directive is well-formed-and-matching, both unwraps still fire.
+    assert_eq!(
+        errors.iter().filter(|r| **r == "lint-allow").count(),
+        2,
+        "{:#?}",
+        report.diagnostics
+    );
+    assert_eq!(
+        errors.iter().filter(|r| **r == "panic").count(),
+        2,
+        "malformed allows must not suppress the violation they sit on: {:#?}",
+        report.diagnostics
+    );
+    let messages: Vec<&str> = report
+        .diagnostics
+        .iter()
+        .map(|d| d.message.as_str())
+        .collect();
+    assert!(
+        messages.iter().any(|m| m.contains("justification")),
+        "{messages:#?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("unknown rule `pannic`")),
+        "{messages:#?}"
+    );
+}
+
+#[test]
+fn real_workspace_is_lint_clean() {
+    // The repo itself must satisfy its own invariants: zero errors.
+    // (Warn-level `indexing` findings are expected and tolerated.)
+    let report = lint_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("lint workspace");
+    let errors: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .collect();
+    assert!(errors.is_empty(), "workspace lint errors: {errors:#?}");
+    assert!(!report.failed(false));
+}

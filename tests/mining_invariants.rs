@@ -63,10 +63,7 @@ fn brute_afd_error(relation: &Relation, lhs: AttrSet, rhs: AttrId) -> f64 {
     }
     let mut groups: HashMap<Vec<String>, HashMap<String, usize>> = HashMap::new();
     for t in relation.tuples() {
-        let key: Vec<String> = lhs
-            .iter()
-            .map(|a| t.value(a).to_string())
-            .collect();
+        let key: Vec<String> = lhs.iter().map(|a| t.value(a).to_string()).collect();
         let v = t.value(rhs).to_string();
         *groups.entry(key).or_default().entry(v).or_default() += 1;
     }

@@ -1,0 +1,224 @@
+//! Offline stub of `criterion`.
+//!
+//! Implements the benchmark-definition surface the AIMQ bench crate
+//! uses (`benchmark_group`, `sample_size`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `criterion_group!`,
+//! `criterion_main!`, `black_box`) over a plain wall-clock timing
+//! loop. No statistics, plots, or baselines — it reports the mean
+//! iteration time so `cargo bench` stays usable offline.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (upstream now forwards to
+/// `std::hint` as well).
+pub use std::hint::black_box;
+
+/// Benchmark registry/driver. Stub of `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id, 20, f);
+        self
+    }
+}
+
+/// A named group sharing configuration. Stub of
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        run_one(&full, self.sample_size, f);
+        self
+    }
+
+    /// Benchmark `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        run_one(&full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (upstream flushes reports; here a no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group. Stub of
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Timing handle passed to benchmark closures. Stub of
+/// `criterion::Bencher`.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Time repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.total += start.elapsed();
+    }
+}
+
+fn run_one<F>(id: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: grow the iteration count until one sample costs ~5ms,
+    // so cheap routines are not swamped by timer noise.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            total: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.total >= Duration::from_millis(5) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    let mut timed: u64 = 0;
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            total: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.iters > 0 && b.total < best {
+            best = b.total;
+        }
+        total += b.total;
+        timed += b.iters;
+    }
+    let mean = if timed > 0 {
+        total.as_nanos() as f64 / timed as f64
+    } else {
+        0.0
+    };
+    let best_per = if iters > 0 && best != Duration::MAX {
+        best.as_nanos() as f64 / iters as f64
+    } else {
+        0.0
+    };
+    println!("{id:<40} mean {mean:>12.1} ns/iter   best {best_per:>12.1} ns/iter");
+}
+
+/// Group several benchmark functions under one entry point. Stub of
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the named groups. Stub of
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

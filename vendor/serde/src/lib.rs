@@ -1,0 +1,27 @@
+//! Offline stub of `serde`.
+//!
+//! Provides just enough surface for the AIMQ workspace to compile
+//! without crates.io access: the `Serialize`/`Deserialize` trait names
+//! and the derive macros (re-exported from the stub `serde_derive`,
+//! where they expand to nothing). No serializer ever runs — model
+//! persistence uses the explicit binary codec in `aimq::persist`.
+
+/// Marker stand-in for `serde::Serialize`. Never implemented or
+/// required by the workspace; exists so `use serde::Serialize` and
+/// generic bounds keep compiling.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Minimal `serde::de` namespace for code that names it in paths.
+pub mod de {
+    pub use crate::Deserialize;
+}
+
+/// Minimal `serde::ser` namespace for code that names it in paths.
+pub mod ser {
+    pub use crate::Serialize;
+}
