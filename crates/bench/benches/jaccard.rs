@@ -32,7 +32,7 @@ fn bench_bag_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("bag_from_codes");
     for total in [1_000usize, 10_000] {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let codes: Vec<u32> = (0..total).map(|_| rng.random_range(0..64)).collect();
+        let codes: Vec<u32> = (0..total).map(|_| rng.random_range(0..64u32)).collect();
         group.bench_with_input(BenchmarkId::from_parameter(total), &codes, |b, codes| {
             b.iter(|| Bag::from_codes(black_box(codes).iter().copied()));
         });

@@ -1,0 +1,96 @@
+//! Criterion benchmarks for the fault-tolerant access stack: the
+//! per-query overhead of the resilience decorators on a healthy source
+//! (the price every production probe pays), and full Algorithm 1 under
+//! the `flaky` fault profile with retries absorbing the faults.
+
+use aimq::{AimqSystem, EngineConfig, GuidedRelax, TrainConfig};
+use aimq_catalog::ImpreciseQuery;
+use aimq_data::CarDb;
+use aimq_storage::{FaultInjectingWebDb, FaultProfile, InMemoryWebDb, ResilientWebDb, RetryPolicy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn setup(n: usize) -> (InMemoryWebDb, AimqSystem, Vec<ImpreciseQuery>) {
+    let db = InMemoryWebDb::new(CarDb::generate(n, 7));
+    let sample = db.relation().random_sample(n / 4, 1);
+    let system = AimqSystem::train(&sample, &TrainConfig::default()).unwrap();
+    let queries: Vec<ImpreciseQuery> = (0..5u32)
+        .map(|i| ImpreciseQuery::from_tuple(&db.relation().tuple(i * 37)).unwrap())
+        .collect();
+    (db, system, queries)
+}
+
+/// Decorator overhead on a healthy source: bare vs fault-stack (profile
+/// `none` + default retry policy). The delta is pure bookkeeping — fault
+/// schedule draws, breaker checks, stats overlay.
+fn bench_stack_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resilience_stack_overhead");
+    group.sample_size(10);
+    let (db, system, queries) = setup(25_000);
+    let config = EngineConfig {
+        t_sim: 0.6,
+        top_k: 10,
+        target_relevant: Some(20),
+        ..EngineConfig::default()
+    };
+    group.bench_function("bare", |b| {
+        b.iter(|| {
+            let mut strategy = GuidedRelax::new(system.ordering().clone());
+            for q in &queries {
+                black_box(system.answer_with_strategy(&db, q, &config, &mut strategy));
+            }
+        });
+    });
+    let stacked = ResilientWebDb::new(
+        FaultInjectingWebDb::new(
+            InMemoryWebDb::new(db.relation().clone()),
+            FaultProfile::none(),
+            1,
+        ),
+        RetryPolicy::default(),
+    );
+    group.bench_function("stacked", |b| {
+        b.iter(|| {
+            let mut strategy = GuidedRelax::new(system.ordering().clone());
+            for q in &queries {
+                black_box(system.answer_with_strategy(&stacked, q, &config, &mut strategy));
+            }
+        });
+    });
+    group.finish();
+}
+
+/// Algorithm 1 against a 10%-transient source with retries: measures what
+/// a realistically flaky deployment costs end to end (retried probes,
+/// backoff bookkeeping, degradation accounting).
+fn bench_flaky_answering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("answer_under_flaky_faults");
+    group.sample_size(10);
+    let (db, system, queries) = setup(25_000);
+    let config = EngineConfig {
+        t_sim: 0.6,
+        top_k: 10,
+        target_relevant: Some(20),
+        ..EngineConfig::default()
+    };
+    let flaky = ResilientWebDb::new(
+        FaultInjectingWebDb::new(
+            InMemoryWebDb::new(db.relation().clone()),
+            FaultProfile::flaky(),
+            1,
+        ),
+        RetryPolicy::default(),
+    );
+    group.bench_function("flaky_with_retries", |b| {
+        b.iter(|| {
+            let mut strategy = GuidedRelax::new(system.ordering().clone());
+            for q in &queries {
+                black_box(system.answer_with_strategy(&flaky, q, &config, &mut strategy));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stack_overhead, bench_flaky_answering);
+criterion_main!(benches);

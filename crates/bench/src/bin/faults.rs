@@ -1,0 +1,11 @@
+//! Runs the **fault matrix** (graceful-degradation extension): CarDB
+//! workload under `none`/`flaky`/`hostile` source-fault profiles through
+//! the retry/breaker stack, reporting top-k recall vs the fault-free run.
+use aimq_eval::{experiments::faults, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    aimq_bench::preamble("Fault matrix: degradation under source failures", scale);
+    let result = faults::run(scale, 42);
+    println!("{}", result.render());
+}

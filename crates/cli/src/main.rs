@@ -21,7 +21,10 @@ use aimq::{AimqSystem, EngineConfig, TrainConfig};
 use aimq_afd::TaneConfig;
 use aimq_catalog::Schema;
 use aimq_data::CarDb;
-use aimq_storage::{read_csv, InMemoryWebDb, Relation};
+use aimq_storage::{
+    read_csv, FaultInjectingWebDb, FaultProfile, InMemoryWebDb, Relation, ResilientWebDb,
+    RetryPolicy,
+};
 
 use args::Args;
 
@@ -65,9 +68,13 @@ fn print_help() {
          \x20 aimq mine  --csv FILE --schema SPEC [--terr X] [--max-lhs N]\n\
          \x20            [--save MODEL]\n\
          \x20 aimq query --csv FILE --schema SPEC --query \"Attr like V, ...\"\n\
-         \x20            [--tsim X] [--k N] [--sample N] [--seed S] [--model MODEL]\n\n\
+         \x20            [--tsim X] [--k N] [--sample N] [--seed S] [--model MODEL]\n\
+         \x20            [--faults none|flaky|hostile] [--fault-seed S]\n\n\
          SPEC:  Name:cat,Name:num,...  (column order; CSV header must match)\n\
-         QUERY: the paper's notation, e.g. \"Model like Camry, Price like 10000\""
+         QUERY: the paper's notation, e.g. \"Model like Camry, Price like 10000\"\n\
+         FAULTS: inject a deterministic fault schedule into the source and\n\
+         \x20       answer through the retry/breaker stack; the degradation\n\
+         \x20       line reports what failed and how complete the answer is"
     );
 }
 
@@ -228,17 +235,36 @@ fn query(args: &Args) -> Result<(), String> {
         top_k: args.usize_or("k", 10)?,
         ..EngineConfig::default()
     };
-    let result = system.answer(&db, &query, &config);
+    let profile_name = args
+        .required("faults")
+        .unwrap_or_else(|_| "none".to_owned());
+    let profile = FaultProfile::by_name(&profile_name)
+        .ok_or_else(|| format!("unknown fault profile `{profile_name}` (none|flaky|hostile)"))?;
+    let fault_seed = args.u64_or("fault-seed", seed)?;
+    let result = if profile.is_benign() {
+        system.answer(&db, &query, &config)
+    } else {
+        let faulty = FaultInjectingWebDb::new(db, profile, fault_seed);
+        let resilient = ResilientWebDb::new(faulty, RetryPolicy::default());
+        system.answer(&resilient, &query, &config)
+    };
 
     println!("query: {}", query.display_with(&schema));
     println!(
-        "base query: {} ({} base tuples; {} tuples examined)\n",
+        "base query: {} ({} base tuples; {} tuples examined)",
         result.base_query.display_with(&schema),
         result.base_set_size,
         result.stats.tuples_examined
     );
+    println!("degradation: {}\n", result.degradation);
     if result.answers.is_empty() {
-        println!("no answers above Tsim {}", config.t_sim);
+        match result.degradation.completeness {
+            aimq::Completeness::Empty => println!(
+                "no answers — but the source faulted; re-run or relax --tsim \
+                 before concluding nothing matches"
+            ),
+            _ => println!("no answers above Tsim {}", config.t_sim),
+        }
     }
     for (i, answer) in result.answers.iter().enumerate() {
         println!(
@@ -381,6 +407,57 @@ mod tests {
         );
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&model_path).ok();
+    }
+
+    #[test]
+    fn query_under_fault_profiles_never_errors() {
+        let path = write_mini_csv();
+        let csv = path.to_str().unwrap();
+        let schema = "Make:cat,Model:cat,Price:num";
+        for profile in ["none", "flaky", "hostile"] {
+            assert_eq!(
+                run(&argv(&[
+                    "query",
+                    "--csv",
+                    csv,
+                    "--schema",
+                    schema,
+                    "--query",
+                    "Model like Camry",
+                    "--tsim",
+                    "0.2",
+                    "--sample",
+                    "8",
+                    "--faults",
+                    profile,
+                    "--fault-seed",
+                    "7",
+                ])),
+                Ok(()),
+                "profile {profile} must degrade gracefully, not error"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_fault_profile_is_reported() {
+        let path = write_mini_csv();
+        let csv = path.to_str().unwrap();
+        let err = run(&argv(&[
+            "query",
+            "--csv",
+            csv,
+            "--schema",
+            "Make:cat,Model:cat,Price:num",
+            "--query",
+            "Model like Camry",
+            "--faults",
+            "chaotic",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("chaotic"));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -3,6 +3,7 @@ use aimq_sim::SimilarityModel;
 use aimq_storage::WebDatabase;
 
 use crate::bind::precise_query_for;
+use crate::engine::DegradationReport;
 use crate::RelaxationStrategy;
 
 /// Map an imprecise query to its base query `Qpr` and fetch the base set
@@ -16,30 +17,67 @@ use crate::RelaxationStrategy;
 /// the same strategy that will drive tuple relaxation, returning the first
 /// generalization with answers.
 ///
+/// Probes go through the fallible [`WebDatabase::try_query`] interface. A
+/// failed probe is recorded in `report` and skipped — the next
+/// generalization is tried instead — except a terminal
+/// [`aimq_storage::QueryError::Unavailable`], which flags
+/// `report.source_lost` and abandons the derivation (counting the
+/// generalizations never tried as skipped probes).
+///
 /// Returns `(query_used, base_set)`; the base set is empty only when even
-/// the loosest permitted generalization matches nothing.
+/// the loosest permitted generalization matches nothing — or when the
+/// source was lost, which `report` distinguishes.
 pub fn derive_base_set(
     db: &dyn WebDatabase,
     query: &ImpreciseQuery,
     model: &SimilarityModel,
     strategy: &mut dyn RelaxationStrategy,
     max_level: usize,
+    report: &mut DegradationReport,
 ) -> (SelectionQuery, Vec<Tuple>) {
     let base = precise_query_for(model, query.bindings());
-    let answers = db.query(&base);
-    if !answers.is_empty() {
-        return (base, answers);
+    report.note_attempt();
+    match db.try_query(&base) {
+        Ok(page) => {
+            if page.truncated {
+                report.note_truncated();
+            }
+            if !page.tuples.is_empty() {
+                return (base, page.tuples);
+            }
+        }
+        Err(error) => {
+            report.note_failure(error);
+            if report.source_lost {
+                return (base, Vec::new());
+            }
+        }
     }
 
     let bound = base.bound_attrs();
-    for step in strategy.steps(&bound, max_level) {
-        let relaxed = base.relax(&step);
+    let steps = strategy.steps(&bound, max_level);
+    for (step_index, step) in steps.iter().enumerate() {
+        let relaxed = base.relax(step);
         if relaxed.is_empty() {
             continue;
         }
-        let answers = db.query(&relaxed);
-        if !answers.is_empty() {
-            return (relaxed, answers);
+        report.note_attempt();
+        match db.try_query(&relaxed) {
+            Ok(page) => {
+                if page.truncated {
+                    report.note_truncated();
+                }
+                if !page.tuples.is_empty() {
+                    return (relaxed, page.tuples);
+                }
+            }
+            Err(error) => {
+                report.note_failure(error);
+                if report.source_lost {
+                    report.probes_skipped += (steps.len() - step_index - 1) as u64;
+                    return (base, Vec::new());
+                }
+            }
         }
     }
     (base, Vec::new())
@@ -101,9 +139,12 @@ mod tests {
             .unwrap();
         let mut strategy = RandomRelax::new(1);
         let m = model(&db);
-        let (used, base_set) = derive_base_set(&db, &q, &m, &mut strategy, 2);
+        let mut report = DegradationReport::default();
+        let (used, base_set) = derive_base_set(&db, &q, &m, &mut strategy, 2, &mut report);
         assert_eq!(base_set.len(), 1);
         assert_eq!(used.bound_attrs().len(), 2); // no generalization needed
+        assert_eq!(report.probes_failed, 0);
+        assert_eq!(report.probes_attempted, 1);
     }
 
     #[test]
@@ -119,7 +160,8 @@ mod tests {
             .unwrap();
         let mut strategy = RandomRelax::new(1);
         let m = model(&db);
-        let (used, base_set) = derive_base_set(&db, &q, &m, &mut strategy, 2);
+        let mut report = DegradationReport::default();
+        let (used, base_set) = derive_base_set(&db, &q, &m, &mut strategy, 2, &mut report);
         assert!(!base_set.is_empty(), "generalization must find answers");
         assert!(used.bound_attrs().len() < 2);
         // Whatever was kept, the answers satisfy it.
@@ -136,9 +178,13 @@ mod tests {
             .unwrap();
         let mut strategy = RandomRelax::new(1);
         let m = model(&db);
-        let (_, base_set) = derive_base_set(&db, &q, &m, &mut strategy, 2);
+        let mut report = DegradationReport::default();
+        let (_, base_set) = derive_base_set(&db, &q, &m, &mut strategy, 2, &mut report);
         // Single binding: relaxing it fully is not permitted, so no
         // generalization exists.
         assert!(base_set.is_empty());
+        // No fault was involved: the emptiness is genuine.
+        assert_eq!(report.probes_failed, 0);
+        assert!(!report.source_lost);
     }
 }

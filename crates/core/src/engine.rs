@@ -1,8 +1,9 @@
 use std::collections::HashSet;
+use std::fmt;
 
 use aimq_catalog::{AttrId, ImpreciseQuery, SelectionQuery, Tuple};
 use aimq_sim::SimilarityModel;
-use aimq_storage::WebDatabase;
+use aimq_storage::{QueryError, WebDatabase};
 
 use crate::base_query::derive_base_set;
 use crate::bind::tuple_query_for;
@@ -74,6 +75,119 @@ impl WorkStats {
     }
 }
 
+/// How much of the fault-free answer a degraded run can still vouch for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completeness {
+    /// No probe failed, was skipped, or came back truncated: the answer
+    /// is exactly what a fault-free run at the same seeds produces (it
+    /// may still be legitimately empty).
+    Full,
+    /// Some probes failed, were abandoned, or returned clipped pages.
+    /// Every returned answer is genuine and correctly ranked among the
+    /// answers found, but relevant tuples reachable only through the
+    /// failed probes may be missing.
+    Partial,
+    /// Faults occurred *and* the answer set is empty — the engine cannot
+    /// distinguish "nothing matches" from "everything relevant hid
+    /// behind the failed probes".
+    Empty,
+}
+
+impl fmt::Display for Completeness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Completeness::Full => write!(f, "full"),
+            Completeness::Partial => write!(f, "partial"),
+            Completeness::Empty => write!(f, "empty"),
+        }
+    }
+}
+
+/// The honest completeness report attached to every [`AnswerSet`]: what
+/// Algorithm 1 attempted against the source, what failed, what was
+/// abandoned, and the resulting [`Completeness`] verdict.
+///
+/// Counters are engine-level (post-resilience): a probe that a
+/// [`aimq_storage::ResilientWebDb`] retried into success counts as one
+/// successful attempt here, with the raw churn visible in
+/// [`DegradationReport::retries`] (taken from the source's access-meter
+/// delta).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradationReport {
+    /// Probe queries the engine issued (base derivation + relaxation).
+    pub probes_attempted: u64,
+    /// Probes that came back with a [`QueryError`] after any retries.
+    pub probes_failed: u64,
+    /// Planned relaxation probes abandoned un-issued after the source
+    /// became unavailable.
+    pub probes_skipped: u64,
+    /// Relaxation levels cut short, summed over abandoned base tuples (a
+    /// level is counted when at least one of its steps was skipped).
+    pub levels_abandoned: u64,
+    /// Result pages the source clipped to its page limit.
+    pub truncated_pages: u64,
+    /// Source-level retries spent on this query (access-meter delta).
+    pub retries: u64,
+    /// Circuit-breaker trips during this query (access-meter delta).
+    pub breaker_trips: u64,
+    /// The source became [`QueryError::Unavailable`] mid-query; all work
+    /// after that point was abandoned.
+    pub source_lost: bool,
+    /// The overall verdict.
+    pub completeness: Completeness,
+}
+
+impl Default for Completeness {
+    fn default() -> Self {
+        Completeness::Full
+    }
+}
+
+impl DegradationReport {
+    /// `true` when any fault affected this answer.
+    pub fn is_degraded(&self) -> bool {
+        self.completeness != Completeness::Full
+    }
+
+    /// Record one engine-visible probe outcome (shared by the base-query
+    /// derivation and the relaxation loop).
+    pub(crate) fn note_attempt(&mut self) {
+        self.probes_attempted += 1;
+    }
+
+    /// Record a failed probe; flags `source_lost` on terminal errors.
+    pub(crate) fn note_failure(&mut self, error: QueryError) {
+        self.probes_failed += 1;
+        if !error.is_retryable() {
+            self.source_lost = true;
+        }
+    }
+
+    /// Record a clipped result page.
+    pub(crate) fn note_truncated(&mut self) {
+        self.truncated_pages += 1;
+    }
+}
+
+impl fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "completeness={} probes={} failed={} skipped={} levels-abandoned={} \
+             truncated={} retries={} breaker-trips={}{}",
+            self.completeness,
+            self.probes_attempted,
+            self.probes_failed,
+            self.probes_skipped,
+            self.levels_abandoned,
+            self.truncated_pages,
+            self.retries,
+            self.breaker_trips,
+            if self.source_lost { " source-lost" } else { "" }
+        )
+    }
+}
+
 /// How an answer entered the extended set — the explainability hook:
 /// "this Accord is here because the engine relaxed Make and Model of a
 /// base-set Camry".
@@ -117,13 +231,32 @@ pub struct AnswerSet {
     pub base_query: SelectionQuery,
     /// Size of the base set `|Abs|`.
     pub base_set_size: usize,
+    /// What failed, what was skipped, and how complete the answer is.
+    pub degradation: DegradationReport,
 }
 
-/// Algorithm 1 ("Finding Relevant Answers") of the paper.
+/// Distinct relaxation levels (step sizes) among `steps`.
+fn distinct_levels(steps: &[Vec<AttrId>]) -> u64 {
+    let mut sizes: Vec<usize> = steps.iter().map(Vec::len).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    sizes.len() as u64
+}
+
+/// Algorithm 1 ("Finding Relevant Answers") of the paper, hardened for
+/// fallible sources.
 ///
 /// `model` supplies both `Sim` functions (tuple–tuple for the `Tsim`
 /// filter, query–tuple for the final ranking); `strategy` decides the
 /// relaxation order (Guided vs Random).
+///
+/// The engine never panics on and never hides a source failure: a failed
+/// relaxation probe is recorded in the [`DegradationReport`] and skipped;
+/// a terminal [`QueryError::Unavailable`] abandons the remaining probe
+/// plan (recording how much was abandoned) and returns whatever was
+/// already found, with [`Completeness::Partial`] or
+/// [`Completeness::Empty`] telling the caller how much the answer can be
+/// trusted.
 pub fn answer_imprecise_query(
     db: &dyn WebDatabase,
     query: &ImpreciseQuery,
@@ -132,10 +265,17 @@ pub fn answer_imprecise_query(
     config: &EngineConfig,
 ) -> AnswerSet {
     let stats_before = db.stats();
+    let mut degradation = DegradationReport::default();
 
     // Step 1: base query and base set.
-    let (base_query, base_set) =
-        derive_base_set(db, query, model, strategy, config.max_relax_level);
+    let (base_query, base_set) = derive_base_set(
+        db,
+        query,
+        model,
+        strategy,
+        config.max_relax_level,
+        &mut degradation,
+    );
 
     // Extended set, deduplicated across overlapping relaxation queries.
     // Base-set tuples are answers (and relevant) by construction;
@@ -149,18 +289,46 @@ pub fn answer_imprecise_query(
         }
     }
 
-    // Steps 2-8: relax each base tuple, filter by Sim(t, t') > Tsim.
-    'outer: for (base_index, t) in base_set.iter().take(config.max_base_tuples).enumerate() {
+    // Steps 2-8: relax each base tuple, filter by Sim(t, t') > Tsim. A
+    // failed probe is recorded and skipped; a terminal failure abandons
+    // the remaining plan (accounted below).
+    let expanded_tuples = base_set.iter().take(config.max_base_tuples);
+    let mut abandoned_at: Option<usize> = None;
+    'outer: for (base_index, t) in expanded_tuples.enumerate() {
+        if degradation.source_lost {
+            abandoned_at = Some(base_index);
+            break;
+        }
         let bound = t.bound_attrs();
         let tuple_query = tuple_query_for(model, t, &bound);
         let mut steps = strategy.steps(&bound, config.max_relax_level);
         steps.truncate(config.max_steps_per_tuple);
-        for step in steps {
-            let relaxed = tuple_query.relax(&step);
+        for (step_index, step) in steps.iter().enumerate() {
+            let relaxed = tuple_query.relax(step);
             if relaxed.is_empty() {
                 continue;
             }
-            for candidate in db.query(&relaxed) {
+            degradation.note_attempt();
+            let page = match db.try_query(&relaxed) {
+                Ok(page) => page,
+                Err(error) => {
+                    degradation.note_failure(error);
+                    if degradation.source_lost {
+                        // Account the rest of this tuple's plan, then
+                        // fall to the outer abandonment bookkeeping.
+                        let remaining = &steps[step_index + 1..];
+                        degradation.probes_skipped += remaining.len() as u64;
+                        degradation.levels_abandoned += distinct_levels(remaining);
+                        abandoned_at = Some(base_index + 1);
+                        break 'outer;
+                    }
+                    continue;
+                }
+            };
+            if page.truncated {
+                degradation.note_truncated();
+            }
+            for candidate in page.tuples {
                 if !examined.insert(candidate.clone()) {
                     continue;
                 }
@@ -181,6 +349,18 @@ pub fn answer_imprecise_query(
                     }
                 }
             }
+        }
+    }
+
+    // Terminal abandonment: account the base tuples never expanded, so
+    // the report says how much of the plan was dropped.
+    if let Some(from) = abandoned_at {
+        for t in base_set.iter().take(config.max_base_tuples).skip(from) {
+            let bound = t.bound_attrs();
+            let mut steps = strategy.steps(&bound, config.max_relax_level);
+            steps.truncate(config.max_steps_per_tuple);
+            degradation.probes_skipped += steps.len() as u64;
+            degradation.levels_abandoned += distinct_levels(&steps);
         }
     }
 
@@ -205,16 +385,30 @@ pub fn answer_imprecise_query(
     answers.truncate(config.top_k);
 
     let stats_after = db.stats();
+    let delta = stats_after.since(&stats_before);
+    degradation.retries = delta.retries;
+    degradation.breaker_trips = delta.breaker_trips;
+    let faulted = degradation.probes_failed > 0
+        || degradation.probes_skipped > 0
+        || degradation.truncated_pages > 0
+        || degradation.source_lost;
+    degradation.completeness = match (faulted, answers.is_empty()) {
+        (false, _) => Completeness::Full,
+        (true, false) => Completeness::Partial,
+        (true, true) => Completeness::Empty,
+    };
+
     AnswerSet {
         answers,
         stats: WorkStats {
-            queries_issued: stats_after.queries_issued - stats_before.queries_issued,
-            tuples_extracted: stats_after.tuples_returned - stats_before.tuples_returned,
+            queries_issued: delta.queries_issued,
+            tuples_extracted: delta.tuples_returned,
             tuples_examined: examined.len(),
             relevant_found,
         },
         base_query,
         base_set_size: base_set.len(),
+        degradation,
     }
 }
 
@@ -241,5 +435,40 @@ mod tests {
         assert!(c.t_sim > 0.0 && c.t_sim < 1.0);
         assert!(c.top_k >= 1);
         assert!(c.max_relax_level >= 1);
+    }
+
+    #[test]
+    fn default_report_is_full_and_clean() {
+        let r = DegradationReport::default();
+        assert_eq!(r.completeness, Completeness::Full);
+        assert!(!r.is_degraded());
+        assert!(r.to_string().starts_with("completeness=full"));
+    }
+
+    #[test]
+    fn report_display_is_one_line() {
+        let r = DegradationReport {
+            probes_attempted: 12,
+            probes_failed: 2,
+            probes_skipped: 3,
+            levels_abandoned: 1,
+            truncated_pages: 4,
+            retries: 5,
+            breaker_trips: 1,
+            source_lost: true,
+            completeness: Completeness::Partial,
+        };
+        let line = r.to_string();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("completeness=partial"));
+        assert!(line.contains("source-lost"));
+        assert!(r.is_degraded());
+    }
+
+    #[test]
+    fn distinct_levels_counts_step_sizes() {
+        let steps = vec![vec![AttrId(0)], vec![AttrId(1)], vec![AttrId(0), AttrId(1)]];
+        assert_eq!(distinct_levels(&steps), 2);
+        assert_eq!(distinct_levels(&[]), 0);
     }
 }

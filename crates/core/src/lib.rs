@@ -27,6 +27,12 @@
 //! `aimq-afd`, Similarity Miner → `aimq-sim`, Query Engine → this crate.
 //! [`AimqSystem`] wires them together end to end (probe → mine → order →
 //! estimate → answer).
+//!
+//! The engine is hardened for *fallible* autonomous sources: every
+//! [`AnswerSet`] carries a [`DegradationReport`] saying which probes
+//! failed or were abandoned and whether the answer is
+//! [`Completeness::Full`], `Partial`, or `Empty`. See DESIGN.md, "Fault
+//! model & degradation semantics".
 
 mod base_query;
 mod bind;
@@ -38,7 +44,9 @@ mod system;
 
 pub use base_query::derive_base_set;
 pub use bind::{precise_query_for, tuple_query_for};
-pub use engine::{AnswerSet, EngineConfig, Provenance, RankedAnswer, WorkStats};
+pub use engine::{
+    AnswerSet, Completeness, DegradationReport, EngineConfig, Provenance, RankedAnswer, WorkStats,
+};
 pub use feedback::FeedbackTuner;
 pub use persist::PersistError;
 pub use relax::{GuidedRelax, RandomRelax, RelaxationStrategy};

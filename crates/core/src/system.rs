@@ -6,7 +6,7 @@ use aimq_afd::{
 };
 use aimq_catalog::{AttrId, ImpreciseQuery};
 use aimq_sim::{SimConfig, SimilarityModel};
-use aimq_storage::{probe_by_spanning_queries, Relation, WebDatabase};
+use aimq_storage::{probe_by_spanning_queries, ProbeError, Relation, WebDatabase};
 
 use crate::engine::{answer_imprecise_query, AnswerSet, EngineConfig};
 use crate::{GuidedRelax, RelaxationStrategy};
@@ -18,8 +18,10 @@ pub enum AimqError {
     EmptySample,
     /// Attribute ordering failed (empty schema etc.).
     Ordering(OrderingError),
-    /// Probing the source failed.
-    Probe(aimq_catalog::CatalogError),
+    /// Probing the source failed — either a catalog mismatch or a source
+    /// failure that survived the client-side resilience policy. Training
+    /// never proceeds on a silently short sample.
+    Probe(ProbeError),
 }
 
 impl fmt::Display for AimqError {
@@ -37,6 +39,12 @@ impl std::error::Error for AimqError {}
 impl From<OrderingError> for AimqError {
     fn from(e: OrderingError) -> Self {
         AimqError::Ordering(e)
+    }
+}
+
+impl From<ProbeError> for AimqError {
+    fn from(e: ProbeError) -> Self {
+        AimqError::Probe(e)
     }
 }
 
@@ -589,5 +597,105 @@ mod tests {
         let system = trained(&db);
         let t = system.timings();
         let _ = t.dependency_mining + t.similarity_estimation;
+    }
+
+    #[test]
+    fn fault_free_answer_reports_full_completeness() {
+        use crate::Completeness;
+        let db = test_db();
+        let system = trained_uniform(&db);
+        let result = system.answer(&db, &camry_query(), &EngineConfig::default());
+        assert_eq!(result.degradation.completeness, Completeness::Full);
+        assert!(!result.degradation.is_degraded());
+        assert_eq!(result.degradation.probes_failed, 0);
+        assert_eq!(result.degradation.probes_skipped, 0);
+    }
+
+    #[test]
+    fn flaky_source_behind_retries_still_answers() {
+        use crate::Completeness;
+        use aimq_storage::{FaultInjectingWebDb, FaultProfile, ResilientWebDb, RetryPolicy};
+        let clean = test_db();
+        let system = trained_uniform(&clean);
+        let expected = system.answer(&clean, &camry_query(), &EngineConfig::default());
+
+        let faulty = FaultInjectingWebDb::new(test_db(), FaultProfile::flaky(), 7);
+        let resilient = ResilientWebDb::new(faulty, RetryPolicy::default());
+        let result = system.answer(&resilient, &camry_query(), &EngineConfig::default());
+
+        // Retries absorb 10% transient faults completely: identical
+        // answers, and the engine saw no failures (Full), only the meter
+        // shows the churn.
+        assert_eq!(result.degradation.completeness, Completeness::Full);
+        let tuples = |r: &AnswerSet| -> Vec<String> {
+            r.answers.iter().map(|a| format!("{:?}", a.tuple)).collect()
+        };
+        assert_eq!(tuples(&result), tuples(&expected));
+    }
+
+    #[test]
+    fn dead_source_yields_marked_empty_never_a_panic() {
+        use crate::Completeness;
+        use aimq_storage::{FaultInjectingWebDb, FaultProfile};
+        let db = FaultInjectingWebDb::new(
+            test_db(),
+            FaultProfile {
+                unavailable_probability: 1.0,
+                ..FaultProfile::none()
+            },
+            1,
+        );
+        let system = trained_uniform(&test_db());
+        let result = system.answer(&db, &camry_query(), &EngineConfig::default());
+        assert!(result.answers.is_empty());
+        assert_eq!(result.degradation.completeness, Completeness::Empty);
+        assert!(result.degradation.source_lost);
+        assert!(result.degradation.probes_failed >= 1);
+    }
+
+    #[test]
+    fn truncating_source_is_partial_not_silent() {
+        use crate::Completeness;
+        let db = test_db().with_result_limit(3);
+        let system = trained_uniform(&test_db());
+        let result = system.answer(
+            &db,
+            &camry_query(),
+            &EngineConfig {
+                t_sim: 0.3,
+                ..EngineConfig::default()
+            },
+        );
+        assert!(result.degradation.truncated_pages > 0);
+        assert!(!result.answers.is_empty());
+        assert_eq!(result.degradation.completeness, Completeness::Partial);
+    }
+
+    #[test]
+    fn mid_query_source_loss_accounts_abandoned_plan() {
+        use crate::Completeness;
+        use aimq_storage::{FaultInjectingWebDb, FaultProfile};
+        // Die hard on roughly every second probe: the first Unavailable
+        // abandons the remaining plan, which must be visible as skipped
+        // probes / abandoned levels rather than vanish.
+        let db = FaultInjectingWebDb::new(
+            test_db(),
+            FaultProfile {
+                unavailable_probability: 0.5,
+                ..FaultProfile::none()
+            },
+            5,
+        );
+        let system = trained_uniform(&test_db());
+        let result = system.answer(&db, &camry_query(), &EngineConfig::default());
+        assert!(result.degradation.source_lost);
+        assert_ne!(result.degradation.completeness, Completeness::Full);
+        if result.base_set_size > 0 {
+            assert!(
+                result.degradation.probes_skipped > 0
+                    || result.degradation.levels_abandoned > 0
+                    || result.degradation.probes_failed > 0
+            );
+        }
     }
 }

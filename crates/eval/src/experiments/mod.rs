@@ -8,6 +8,7 @@
 
 pub mod ablation;
 pub mod common;
+pub mod faults;
 pub mod feedback;
 pub mod fig3;
 pub mod fig4;

@@ -17,6 +17,7 @@
 //! | CensusDB classification accuracy | Figure 9 | [`experiments::fig9`] |
 //! | Relevance feedback (extension) | — (Section 7 plan) | [`experiments::feedback`] |
 //! | Importance-source ablation (extension) | — | [`experiments::ablation`] |
+//! | Fault matrix: degradation under source failures (extension) | — | [`experiments::faults`] |
 //!
 //! Each runner is a pure function of a [`Scale`] (dataset sizes) and a
 //! seed, returns a typed result struct, and renders the same rows/series

@@ -1,0 +1,410 @@
+//! Deterministic fault injection for autonomous sources.
+//!
+//! [`FaultInjectingWebDb`] decorates any [`WebDatabase`] with a *seeded,
+//! replayable* fault schedule: per-query transient/timeout failures,
+//! periodic rate-limit bursts, page truncation and (rarely) terminal
+//! outages. Two runs with the same seed and the same query sequence see
+//! byte-identical faults — the property the resilience layer's tests and
+//! PR 1's determinism suite build on.
+//!
+//! The schedule is a pure function of `(seed, query ordinal)`: every call
+//! to [`WebDatabase::try_query`] consumes exactly one position of the
+//! schedule, whether it fails or not. Retries issued by a wrapper consume
+//! *further* positions, which is what makes retry-until-success converge
+//! under any nonzero success probability.
+
+use std::sync::{Arc, Mutex};
+
+use aimq_catalog::{Schema, SelectionQuery};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::web::lock_stats;
+use crate::{AccessStats, QueryError, QueryPage, WebDatabase};
+
+/// Periodic rate-limit bursts: after every `period` admitted queries the
+/// source rejects the next `burst` attempts with
+/// [`QueryError::RateLimited`], echoing `retry_after` ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimitWindow {
+    /// Queries admitted between bursts.
+    pub period: u64,
+    /// Consecutive attempts rejected once a burst starts.
+    pub burst: u64,
+    /// `Retry-After` hint carried by the rejections (virtual ticks).
+    pub retry_after: u64,
+}
+
+/// Probabilistic page clipping: with `probability`, a successful page is
+/// truncated to at most `max_tuples` tuples (flagged via
+/// [`QueryPage::truncated`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncationPolicy {
+    /// Chance that a successful query's page is clipped.
+    pub probability: f64,
+    /// Page cap applied when the clip triggers.
+    pub max_tuples: usize,
+}
+
+/// The per-query fault distribution of a simulated unreliable source.
+///
+/// Probabilities are evaluated in order — rate-limit window first (it is
+/// counter-based, not probabilistic), then `unavailable_probability`,
+/// `timeout_probability`, `transient_probability` on a single uniform
+/// draw — so their sum must stay ≤ 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Chance of a [`QueryError::Transient`] failure per query.
+    pub transient_probability: f64,
+    /// Chance of a [`QueryError::Timeout`] per query.
+    pub timeout_probability: f64,
+    /// Chance of a terminal [`QueryError::Unavailable`] per query.
+    pub unavailable_probability: f64,
+    /// Periodic rate-limit bursts, if any.
+    pub rate_limit: Option<RateLimitWindow>,
+    /// Probabilistic page truncation, if any.
+    pub truncation: Option<TruncationPolicy>,
+}
+
+impl FaultProfile {
+    /// A perfectly healthy source: every fault channel disabled.
+    pub fn none() -> Self {
+        FaultProfile {
+            transient_probability: 0.0,
+            timeout_probability: 0.0,
+            unavailable_probability: 0.0,
+            rate_limit: None,
+            truncation: None,
+        }
+    }
+
+    /// The evaluation's `flaky` profile: 10% transient failures, nothing
+    /// else — the acceptance workload for retry-driven recovery.
+    pub fn flaky() -> Self {
+        FaultProfile {
+            transient_probability: 0.10,
+            ..FaultProfile::none()
+        }
+    }
+
+    /// The evaluation's `hostile` profile: transient failures *and*
+    /// timeouts, periodic rate-limit bursts, and aggressive page
+    /// truncation.
+    pub fn hostile() -> Self {
+        FaultProfile {
+            transient_probability: 0.05,
+            timeout_probability: 0.05,
+            unavailable_probability: 0.0,
+            rate_limit: Some(RateLimitWindow {
+                period: 20,
+                burst: 3,
+                retry_after: 4,
+            }),
+            truncation: Some(TruncationPolicy {
+                probability: 0.25,
+                max_tuples: 5,
+            }),
+        }
+    }
+
+    /// Resolve one of the named CI-matrix profiles (`none`, `flaky`,
+    /// `hostile`).
+    pub fn by_name(name: &str) -> Option<FaultProfile> {
+        match name {
+            "none" => Some(FaultProfile::none()),
+            "flaky" => Some(FaultProfile::flaky()),
+            "hostile" => Some(FaultProfile::hostile()),
+            _ => None,
+        }
+    }
+
+    /// `true` when every fault channel is disabled.
+    pub fn is_benign(&self) -> bool {
+        self.transient_probability <= 0.0
+            && self.timeout_probability <= 0.0
+            && self.unavailable_probability <= 0.0
+            && self.rate_limit.is_none()
+            && self.truncation.is_none()
+    }
+}
+
+/// Mutable schedule state, behind one mutex so clones share the stream.
+#[derive(Debug)]
+struct FaultState {
+    rng: StdRng,
+    /// Ordinal of the next query (schedule position).
+    calls: u64,
+    /// Failures injected by this decorator.
+    injected_failures: u64,
+    /// Pages clipped by this decorator.
+    injected_truncations: u64,
+    /// Tuples removed from pages by decorator-level clipping (the inner
+    /// meter counted them before we clipped).
+    clipped_tuples: u64,
+}
+
+/// A [`WebDatabase`] decorator that injects faults from a seeded,
+/// deterministic schedule. See the module docs for the replay contract.
+///
+/// Cloning shares the inner database, the schedule position and the
+/// meters.
+#[derive(Debug, Clone)]
+pub struct FaultInjectingWebDb<D> {
+    inner: D,
+    profile: FaultProfile,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl<D: WebDatabase> FaultInjectingWebDb<D> {
+    /// Decorate `inner` with faults drawn from `profile`, scheduled by
+    /// `seed`.
+    pub fn new(inner: D, profile: FaultProfile, seed: u64) -> Self {
+        FaultInjectingWebDb {
+            inner,
+            profile,
+            state: Arc::new(Mutex::new(FaultState {
+                rng: StdRng::seed_from_u64(seed),
+                calls: 0,
+                injected_failures: 0,
+                injected_truncations: 0,
+                clipped_tuples: 0,
+            })),
+        }
+    }
+
+    /// The active fault profile.
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    /// Borrow the decorated database.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Decide the fate of the next query. Returns `Ok(clip)` where `clip`
+    /// is an optional page cap, or the injected error.
+    fn schedule_next(&self) -> Result<Option<usize>, QueryError> {
+        let mut state = lock_stats(&self.state);
+        let ordinal = state.calls;
+        state.calls += 1;
+
+        if let Some(window) = self.profile.rate_limit {
+            let cycle = window.period + window.burst;
+            if window.burst > 0 && cycle > 0 && ordinal % cycle >= window.period {
+                state.injected_failures += 1;
+                return Err(QueryError::RateLimited {
+                    retry_after: window.retry_after,
+                });
+            }
+        }
+
+        // One uniform draw decides the probabilistic channels; a second
+        // (drawn only on success) decides truncation. Keeping the draw
+        // count fixed per outcome keeps the schedule replayable.
+        let u: f64 = state.rng.random();
+        let mut edge = self.profile.unavailable_probability;
+        if u < edge {
+            state.injected_failures += 1;
+            return Err(QueryError::Unavailable);
+        }
+        edge += self.profile.timeout_probability;
+        if u < edge {
+            state.injected_failures += 1;
+            return Err(QueryError::Timeout);
+        }
+        edge += self.profile.transient_probability;
+        if u < edge {
+            state.injected_failures += 1;
+            return Err(QueryError::Transient);
+        }
+
+        if let Some(policy) = self.profile.truncation {
+            let v: f64 = state.rng.random();
+            if v < policy.probability {
+                return Ok(Some(policy.max_tuples));
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl<D: WebDatabase> WebDatabase for FaultInjectingWebDb<D> {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn try_query(&self, query: &SelectionQuery) -> Result<QueryPage, QueryError> {
+        let clip = self.schedule_next()?;
+        let mut page = self.inner.try_query(query)?;
+        if let Some(max_tuples) = clip {
+            if page.tuples.len() > max_tuples {
+                let clipped = (page.tuples.len() - max_tuples) as u64;
+                page.tuples.truncate(max_tuples);
+                page.truncated = true;
+                let mut state = lock_stats(&self.state);
+                state.injected_truncations += 1;
+                state.clipped_tuples += clipped;
+            }
+        }
+        Ok(page)
+    }
+
+    fn stats(&self) -> AccessStats {
+        let inner = self.inner.stats();
+        let state = lock_stats(&self.state);
+        AccessStats {
+            // Injected failures never reach the inner meter, but the
+            // query *was* attempted against the (simulated) source.
+            queries_issued: inner.queries_issued + state.injected_failures,
+            tuples_returned: inner.tuples_returned.saturating_sub(state.clipped_tuples),
+            failures: inner.failures + state.injected_failures,
+            retries: inner.retries,
+            truncated_queries: inner.truncated_queries + state.injected_truncations,
+            breaker_trips: inner.breaker_trips,
+        }
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats();
+        let mut state = lock_stats(&self.state);
+        state.injected_failures = 0;
+        state.injected_truncations = 0;
+        state.clipped_tuples = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InMemoryWebDb, Relation};
+    use aimq_catalog::{Schema, Tuple, Value};
+
+    fn base_db() -> InMemoryWebDb {
+        let schema = Schema::builder("R")
+            .categorical("Make")
+            .numeric("Price")
+            .build()
+            .unwrap();
+        let tuples: Vec<Tuple> = (0..20)
+            .map(|i| {
+                Tuple::new(
+                    &schema,
+                    vec![Value::cat("Toyota"), Value::num(1000.0 * f64::from(i))],
+                )
+                .unwrap()
+            })
+            .collect();
+        InMemoryWebDb::new(Relation::from_tuples(schema, &tuples).unwrap())
+    }
+
+    fn outcomes(db: &dyn WebDatabase, n: usize) -> Vec<String> {
+        (0..n)
+            .map(|_| match db.try_query(&SelectionQuery::all()) {
+                Ok(page) => format!("ok({}, trunc={})", page.tuples.len(), page.truncated),
+                Err(e) => format!("err({e:?})"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn benign_profile_is_transparent() {
+        let db = FaultInjectingWebDb::new(base_db(), FaultProfile::none(), 1);
+        for o in outcomes(&db, 50) {
+            assert_eq!(o, "ok(20, trunc=false)");
+        }
+        let s = db.stats();
+        assert_eq!(s.failures, 0);
+        assert_eq!(s.queries_issued, 50);
+        assert_eq!(s.truncated_queries, 0);
+    }
+
+    #[test]
+    fn same_seed_replays_identical_schedule() {
+        let a = FaultInjectingWebDb::new(base_db(), FaultProfile::hostile(), 42);
+        let b = FaultInjectingWebDb::new(base_db(), FaultProfile::hostile(), 42);
+        assert_eq!(outcomes(&a, 200), outcomes(&b, 200));
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultInjectingWebDb::new(base_db(), FaultProfile::flaky(), 1);
+        let b = FaultInjectingWebDb::new(base_db(), FaultProfile::flaky(), 2);
+        assert_ne!(outcomes(&a, 300), outcomes(&b, 300));
+    }
+
+    #[test]
+    fn flaky_rate_is_roughly_ten_percent() {
+        let db = FaultInjectingWebDb::new(base_db(), FaultProfile::flaky(), 7);
+        let fails = outcomes(&db, 2000)
+            .iter()
+            .filter(|o| o.starts_with("err"))
+            .count();
+        assert!((100..300).contains(&fails), "flaky failure count {fails}");
+        assert_eq!(db.stats().failures as usize, fails);
+    }
+
+    #[test]
+    fn rate_limit_window_rejects_bursts() {
+        let profile = FaultProfile {
+            rate_limit: Some(RateLimitWindow {
+                period: 5,
+                burst: 2,
+                retry_after: 3,
+            }),
+            ..FaultProfile::none()
+        };
+        let db = FaultInjectingWebDb::new(base_db(), profile, 1);
+        let os = outcomes(&db, 14);
+        // Positions 5,6 and 12,13 fall in the burst windows.
+        for (i, o) in os.iter().enumerate() {
+            let in_burst = i % 7 >= 5;
+            assert_eq!(
+                o.starts_with("err(RateLimited"),
+                in_burst,
+                "position {i}: {o}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_clips_and_adjusts_meter() {
+        let profile = FaultProfile {
+            truncation: Some(TruncationPolicy {
+                probability: 1.0,
+                max_tuples: 4,
+            }),
+            ..FaultProfile::none()
+        };
+        let db = FaultInjectingWebDb::new(base_db(), profile, 1);
+        let page = db.try_query(&SelectionQuery::all()).unwrap();
+        assert_eq!(page.tuples.len(), 4);
+        assert!(page.truncated);
+        let s = db.stats();
+        assert_eq!(s.truncated_queries, 1);
+        // The meter reports what the caller saw, not what the inner
+        // relation produced.
+        assert_eq!(s.tuples_returned, 4);
+    }
+
+    #[test]
+    fn named_profiles_resolve() {
+        assert!(FaultProfile::by_name("none").is_some_and(|p| p.is_benign()));
+        assert_eq!(FaultProfile::by_name("flaky"), Some(FaultProfile::flaky()));
+        assert_eq!(
+            FaultProfile::by_name("hostile"),
+            Some(FaultProfile::hostile())
+        );
+        assert_eq!(FaultProfile::by_name("bogus"), None);
+    }
+
+    #[test]
+    fn reset_clears_overlay_but_not_schedule() {
+        let db = FaultInjectingWebDb::new(base_db(), FaultProfile::flaky(), 3);
+        let _ = outcomes(&db, 100);
+        db.reset_stats();
+        let s = db.stats();
+        assert_eq!(s, AccessStats::default());
+    }
+}

@@ -26,12 +26,24 @@
 //! Categorical values are dictionary-encoded (`u32` codes) at load time;
 //! TANE partitions, supertuple bags and ROCK neighbor sets all operate on
 //! codes rather than strings.
+//!
+//! Because real autonomous sources fail constantly, the boundary is
+//! *fallible*: [`WebDatabase::try_query`] returns a [`QueryPage`] (tuples
+//! plus a truncation flag) or a typed [`QueryError`]. Two decorators
+//! compose on top of any source: [`FaultInjectingWebDb`] replays a seeded,
+//! deterministic fault schedule (the evaluation's `none`/`flaky`/`hostile`
+//! profiles), and [`ResilientWebDb`] implements bounded retry with
+//! exponential backoff + jitter over a [`VirtualClock`], a
+//! consecutive-failure circuit breaker, and a per-session probe budget.
+//! See DESIGN.md, "Fault model & degradation semantics".
 
 mod column;
 mod csv;
 mod dictionary;
 mod executor;
+mod fault;
 mod relation;
+mod resilient;
 mod sampler;
 mod web;
 
@@ -39,6 +51,8 @@ pub use column::{Column, NULL_CODE};
 pub use csv::{read_csv, write_csv, CsvError};
 pub use dictionary::Dictionary;
 pub use executor::{execute, execute_rows};
+pub use fault::{FaultInjectingWebDb, FaultProfile, RateLimitWindow, TruncationPolicy};
 pub use relation::{Relation, RelationBuilder, RowId};
-pub use sampler::{probe_by_spanning_queries, random_sample};
-pub use web::{AccessStats, InMemoryWebDb, WebDatabase};
+pub use resilient::{ResilienceReport, ResilientWebDb, RetryPolicy, VirtualClock};
+pub use sampler::{probe_by_spanning_queries, random_sample, ProbeError};
+pub use web::{AccessStats, InMemoryWebDb, QueryError, QueryPage, WebDatabase};

@@ -1,23 +1,132 @@
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use aimq_catalog::{Schema, SelectionQuery, Tuple};
 
 use crate::{execute, Relation};
 
+/// Why a probe against an autonomous source failed.
+///
+/// The taxonomy mirrors what real Web forms do under load (see DESIGN.md,
+/// "Fault model & degradation semantics"): the first three variants are
+/// *retryable* — the same query may succeed moments later — while
+/// [`QueryError::Unavailable`] is terminal for the session (the source is
+/// down, a circuit breaker is open, or a probe budget is exhausted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// The source did not answer within its deadline.
+    Timeout,
+    /// A transient failure (dropped connection, 5xx); retry may succeed.
+    Transient,
+    /// The source is shedding load and asks the client to come back after
+    /// `retry_after` virtual-clock ticks (an HTTP 429 `Retry-After`).
+    RateLimited {
+        /// Ticks to wait before the source will accept another query.
+        retry_after: u64,
+    },
+    /// The source is gone for this session; retrying is pointless.
+    Unavailable,
+}
+
+impl QueryError {
+    /// Whether a retry of the same query can possibly succeed.
+    pub fn is_retryable(self) -> bool {
+        !matches!(self, QueryError::Unavailable)
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Timeout => write!(f, "source timed out"),
+            QueryError::Transient => write!(f, "transient source failure"),
+            QueryError::RateLimited { retry_after } => {
+                write!(f, "source rate-limited (retry after {retry_after} ticks)")
+            }
+            QueryError::Unavailable => write!(f, "source unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// One page of results from a boolean probe query.
+///
+/// Real Web form interfaces cap the result page; `truncated` tells the
+/// caller whether the page is the *complete* answer set of the query or
+/// merely its first tuples. A small `tuples` with `truncated == false` is
+/// an honest small answer; the same tuples with `truncated == true` mean
+/// the query matched more than the source was willing to return.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPage {
+    /// The satisfying tuples the source returned (possibly clipped).
+    pub tuples: Vec<Tuple>,
+    /// `true` when the source clipped the answer set to its page limit.
+    pub truncated: bool,
+}
+
+impl QueryPage {
+    /// A complete (untruncated) page.
+    pub fn complete(tuples: Vec<Tuple>) -> Self {
+        QueryPage {
+            tuples,
+            truncated: false,
+        }
+    }
+}
+
 /// Access meter for a Web database: how many boolean queries were issued
-/// and how many tuples came back.
+/// and how many tuples came back, plus the fault-tolerance counters.
 ///
 /// The paper's efficiency measure (Section 6.3),
 /// `Work/RelevantTuple = |T_Extracted| / |T_Relevant|`, needs exactly
 /// `tuples_returned`; `queries_issued` additionally lets the benchmarks
-/// report probing cost.
+/// report probing cost. The remaining counters are filled in by the
+/// fault-tolerance decorators ([`crate::FaultInjectingWebDb`],
+/// [`crate::ResilientWebDb`]) and by page truncation, so callers can tell
+/// a clean run from a degraded one.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AccessStats {
-    /// Number of selection queries executed against the source.
+    /// Number of selection queries attempted against the source (failed
+    /// attempts included — a timed-out query was still issued).
     pub queries_issued: u64,
-    /// Total number of tuples returned across all queries.
+    /// Total number of tuples returned across all queries, after any
+    /// page truncation (what the caller actually saw).
     pub tuples_returned: u64,
+    /// Probe attempts that ended in a [`QueryError`], including attempts
+    /// later absorbed by a retry and fast-fail rejections (open breaker,
+    /// exhausted probe budget).
+    pub failures: u64,
+    /// Re-issues of a failed query by a resilience policy.
+    pub retries: u64,
+    /// Queries whose result page was clipped to the source's page limit.
+    pub truncated_queries: u64,
+    /// Times a circuit breaker transitioned closed → open.
+    pub breaker_trips: u64,
+}
+
+impl AccessStats {
+    /// Per-field difference `self - earlier`, saturating at zero — the
+    /// usual "stats delta across one engine call" computation.
+    #[must_use]
+    pub fn since(&self, earlier: &AccessStats) -> AccessStats {
+        AccessStats {
+            queries_issued: self.queries_issued.saturating_sub(earlier.queries_issued),
+            tuples_returned: self.tuples_returned.saturating_sub(earlier.tuples_returned),
+            failures: self.failures.saturating_sub(earlier.failures),
+            retries: self.retries.saturating_sub(earlier.retries),
+            truncated_queries: self
+                .truncated_queries
+                .saturating_sub(earlier.truncated_queries),
+            breaker_trips: self.breaker_trips.saturating_sub(earlier.breaker_trips),
+        }
+    }
+}
+
+/// Lock a stats mutex, recovering from poisoning instead of panicking:
+/// the protected value is a plain counter block, always valid.
+pub(crate) fn lock_stats<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// The autonomous Web database interface of the paper (Section 3.1).
@@ -26,14 +135,32 @@ pub struct AccessStats {
 /// a conjunctive selection, return the satisfying tuples, unranked. AIMQ
 /// must work without altering the underlying data model — everything it
 /// learns, it learns by issuing queries through this trait.
+///
+/// The primary access point is [`WebDatabase::try_query`]: sources are
+/// *fallible* (they time out, rate-limit, truncate and disappear), and the
+/// engine degrades gracefully around those failures. The infallible
+/// [`WebDatabase::query`] remains as a migration shim for callers that
+/// predate the fault model; it swallows errors and truncation.
 pub trait WebDatabase {
     /// The relation schema the database projects (Web form fields).
     fn schema(&self) -> &Schema;
 
-    /// Evaluate a boolean selection query and return all satisfying tuples.
-    fn query(&self, query: &SelectionQuery) -> Vec<Tuple>;
+    /// Evaluate a boolean selection query, returning one result page or a
+    /// typed failure.
+    fn try_query(&self, query: &SelectionQuery) -> Result<QueryPage, QueryError>;
 
-    /// Snapshot of the access meter.
+    /// Legacy infallible shim: evaluate `query`, mapping any failure to an
+    /// empty result and dropping the truncation flag. New code should call
+    /// [`WebDatabase::try_query`] and handle degradation explicitly.
+    fn query(&self, query: &SelectionQuery) -> Vec<Tuple> {
+        self.try_query(query)
+            .map(|page| page.tuples)
+            .unwrap_or_default()
+    }
+
+    /// Snapshot of the access meter. All fields are captured atomically
+    /// under one lock, so `Work/RelevantTuple` derived from a snapshot is
+    /// internally consistent even under concurrent probing.
     fn stats(&self) -> AccessStats;
 
     /// Reset the access meter (used between experiment runs).
@@ -47,8 +174,7 @@ pub trait WebDatabase {
 #[derive(Debug, Clone)]
 pub struct InMemoryWebDb {
     relation: Arc<Relation>,
-    queries: Arc<AtomicU64>,
-    tuples: Arc<AtomicU64>,
+    stats: Arc<Mutex<AccessStats>>,
     /// Maximum tuples returned per query (`None` = unlimited). Real Web
     /// form interfaces cap result pages; AIMQ must cope with truncation.
     result_limit: Option<usize>,
@@ -59,14 +185,15 @@ impl InMemoryWebDb {
     pub fn new(relation: Relation) -> Self {
         InMemoryWebDb {
             relation: Arc::new(relation),
-            queries: Arc::new(AtomicU64::new(0)),
-            tuples: Arc::new(AtomicU64::new(0)),
+            stats: Arc::new(Mutex::new(AccessStats::default())),
             result_limit: None,
         }
     }
 
     /// Cap every query's result at `limit` tuples, simulating a form
-    /// interface that only serves the first page of matches.
+    /// interface that only serves the first page of matches. Clipped
+    /// pages are flagged via [`QueryPage::truncated`] and counted in
+    /// [`AccessStats::truncated_queries`].
     #[must_use]
     pub fn with_result_limit(mut self, limit: usize) -> Self {
         self.result_limit = Some(limit);
@@ -86,27 +213,31 @@ impl WebDatabase for InMemoryWebDb {
         self.relation.schema()
     }
 
-    fn query(&self, query: &SelectionQuery) -> Vec<Tuple> {
-        let mut result = execute(&self.relation, query);
-        if let Some(limit) = self.result_limit {
-            result.truncate(limit);
+    fn try_query(&self, query: &SelectionQuery) -> Result<QueryPage, QueryError> {
+        let mut tuples = execute(&self.relation, query);
+        let truncated = match self.result_limit {
+            Some(limit) if tuples.len() > limit => {
+                tuples.truncate(limit);
+                true
+            }
+            _ => false,
+        };
+        let mut stats = lock_stats(&self.stats);
+        stats.queries_issued += 1;
+        stats.tuples_returned += tuples.len() as u64;
+        if truncated {
+            stats.truncated_queries += 1;
         }
-        self.queries.fetch_add(1, Ordering::Relaxed);
-        self.tuples
-            .fetch_add(result.len() as u64, Ordering::Relaxed);
-        result
+        drop(stats);
+        Ok(QueryPage { tuples, truncated })
     }
 
     fn stats(&self) -> AccessStats {
-        AccessStats {
-            queries_issued: self.queries.load(Ordering::Relaxed),
-            tuples_returned: self.tuples.load(Ordering::Relaxed),
-        }
+        *lock_stats(&self.stats)
     }
 
     fn reset_stats(&self) {
-        self.queries.store(0, Ordering::Relaxed);
-        self.tuples.store(0, Ordering::Relaxed);
+        *lock_stats(&self.stats) = AccessStats::default();
     }
 }
 
@@ -138,6 +269,15 @@ mod tests {
     }
 
     #[test]
+    fn try_query_reports_complete_pages() {
+        let db = db();
+        let page = db.try_query(&SelectionQuery::all()).unwrap();
+        assert_eq!(page.tuples.len(), 3);
+        assert!(!page.truncated);
+        assert_eq!(db.stats().truncated_queries, 0);
+    }
+
+    #[test]
     fn meter_counts_queries_and_tuples() {
         let db = db();
         assert_eq!(db.stats(), AccessStats::default());
@@ -147,16 +287,35 @@ mod tests {
         let s = db.stats();
         assert_eq!(s.queries_issued, 2);
         assert_eq!(s.tuples_returned, 2 + 3);
+        assert_eq!(s.failures, 0);
         db.reset_stats();
         assert_eq!(db.stats(), AccessStats::default());
     }
 
     #[test]
-    fn result_limit_truncates_pages() {
+    fn result_limit_truncates_pages_and_counts_it() {
         let db = db().with_result_limit(1);
-        let answers = db.query(&SelectionQuery::all());
-        assert_eq!(answers.len(), 1);
-        assert_eq!(db.stats().tuples_returned, 1);
+        let page = db.try_query(&SelectionQuery::all()).unwrap();
+        assert_eq!(page.tuples.len(), 1);
+        assert!(page.truncated, "clipped page must be flagged");
+        let s = db.stats();
+        assert_eq!(s.tuples_returned, 1);
+        assert_eq!(s.truncated_queries, 1);
+
+        // A query whose full answer fits the page is NOT truncated.
+        let q = SelectionQuery::new(vec![Predicate::eq(AttrId(0), Value::cat("Honda"))]);
+        let page = db.try_query(&q).unwrap();
+        assert!(!page.truncated);
+        assert_eq!(db.stats().truncated_queries, 1);
+    }
+
+    #[test]
+    fn result_limit_exactly_at_len_is_not_truncation() {
+        let db = db().with_result_limit(3);
+        let page = db.try_query(&SelectionQuery::all()).unwrap();
+        assert_eq!(page.tuples.len(), 3);
+        assert!(!page.truncated);
+        assert_eq!(db.stats().truncated_queries, 0);
     }
 
     #[test]
@@ -165,5 +324,68 @@ mod tests {
         let db2 = db.clone();
         db2.query(&SelectionQuery::all());
         assert_eq!(db.stats().queries_issued, 1);
+    }
+
+    #[test]
+    fn stats_snapshot_is_single_lock_consistent() {
+        // Hammer the meter from several threads; every snapshot must obey
+        // the invariant `tuples_returned == 3 * queries_issued` (each
+        // all-query returns all 3 tuples), which two separate relaxed
+        // atomic loads would not guarantee.
+        let db = db();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let worker = db.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    worker.query(&SelectionQuery::all());
+                }
+            }));
+        }
+        let reader = db.clone();
+        let checker = std::thread::spawn(move || {
+            for _ in 0..200 {
+                let s = reader.stats();
+                assert_eq!(
+                    s.tuples_returned,
+                    3 * s.queries_issued,
+                    "snapshot tore: {s:?}"
+                );
+            }
+        });
+        for h in handles {
+            h.join().unwrap();
+        }
+        checker.join().unwrap();
+        let s = db.stats();
+        assert_eq!(s.queries_issued, 2000);
+        assert_eq!(s.tuples_returned, 6000);
+    }
+
+    #[test]
+    fn stats_delta_saturates() {
+        let a = AccessStats {
+            queries_issued: 5,
+            ..AccessStats::default()
+        };
+        let b = AccessStats {
+            queries_issued: 2,
+            tuples_returned: 7,
+            ..AccessStats::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.queries_issued, 0);
+        assert_eq!(d.tuples_returned, 7);
+    }
+
+    #[test]
+    fn query_error_display_and_retryability() {
+        assert!(QueryError::Timeout.is_retryable());
+        assert!(QueryError::Transient.is_retryable());
+        assert!(QueryError::RateLimited { retry_after: 3 }.is_retryable());
+        assert!(!QueryError::Unavailable.is_retryable());
+        assert!(QueryError::RateLimited { retry_after: 3 }
+            .to_string()
+            .contains("3 ticks"));
     }
 }
