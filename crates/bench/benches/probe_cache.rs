@@ -1,0 +1,98 @@
+//! Criterion benchmarks for probe-plan dedup and the memoizing query
+//! cache: the wall-clock side of the probe-economy story. The eval
+//! runner (`cargo run -p aimq-bench --bin cache`) counts the probes
+//! these layers eliminate; this bench measures what that elimination
+//! buys end to end when the same query log is answered (a) by the seed
+//! engine, (b) with the per-call planner memo, and (c) with the
+//! cross-call [`CachedWebDb`] warm.
+
+use aimq::{AimqSystem, EngineConfig, TrainConfig};
+use aimq_catalog::ImpreciseQuery;
+use aimq_data::CarDb;
+use aimq_storage::{CachedWebDb, InMemoryWebDb};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn setup(n: usize) -> (InMemoryWebDb, AimqSystem, Vec<ImpreciseQuery>) {
+    let db = InMemoryWebDb::new(CarDb::generate(n, 7));
+    let sample = db.relation().random_sample(n / 4, 1);
+    let system = AimqSystem::train(&sample, &TrainConfig::default()).unwrap();
+    let queries: Vec<ImpreciseQuery> = (0..5u32)
+        .map(|i| ImpreciseQuery::from_tuple(&db.relation().tuple(i * 37)).unwrap())
+        .collect();
+    (db, system, queries)
+}
+
+/// The same query log answered with and without the per-call planner
+/// memo: the delta is what canonicalization + BTreeMap replay cost or
+/// save against a fast in-memory source. (Against a real networked
+/// source the saved probes dominate; this measures the bookkeeping.)
+fn bench_planner_dedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe_plan_dedup");
+    group.sample_size(10);
+    let (db, system, queries) = setup(25_000);
+    let base = EngineConfig {
+        t_sim: 0.6,
+        top_k: 10,
+        target_relevant: Some(20),
+        ..EngineConfig::default()
+    };
+    let no_dedup = EngineConfig {
+        dedup_probes: false,
+        ..base
+    };
+    group.bench_function("seed_engine", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(system.answer(&db, q, &no_dedup));
+            }
+        });
+    });
+    group.bench_function("dedup_planner", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(system.answer(&db, q, &base));
+            }
+        });
+    });
+    group.finish();
+}
+
+/// Answering through a warm `CachedWebDb`: after one priming pass every
+/// probe is a memo hit, so this measures the cache's steady-state serve
+/// path (canonicalize, BTreeMap lookup, page clone) against the bare
+/// source's scan.
+fn bench_warm_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warm_query_cache");
+    group.sample_size(10);
+    let (db, system, queries) = setup(25_000);
+    let config = EngineConfig {
+        t_sim: 0.6,
+        top_k: 10,
+        target_relevant: Some(20),
+        ..EngineConfig::default()
+    };
+    group.bench_function("bare_source", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(system.answer(&db, q, &config));
+            }
+        });
+    });
+    let cached = CachedWebDb::with_default_capacity(InMemoryWebDb::new(db.relation().clone()));
+    // Priming pass: the benchmark below serves from a warm memo.
+    for q in &queries {
+        black_box(system.answer(&cached, q, &config));
+    }
+    group.bench_function("warm_cache", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(system.answer(&cached, q, &config));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_planner_dedup, bench_warm_cache);
+criterion_main!(benches);

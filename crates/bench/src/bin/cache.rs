@@ -1,0 +1,12 @@
+//! Runs the **probe economy** extension: a repeated CarDB query log
+//! answered by the seed engine, the dedup planner, and the dedup planner
+//! plus the cross-call memoizing cache, per fault profile — reporting
+//! source queries issued, cache hits and top-k identity.
+use aimq_eval::{experiments::cache, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    aimq_bench::preamble("Probe economy: dedup + cache vs the seed engine", scale);
+    let result = cache::run(scale, 42);
+    println!("{}", result.render());
+}

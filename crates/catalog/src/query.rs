@@ -10,7 +10,7 @@ use crate::{AttrId, CatalogError, Domain, Result, Schema, Tuple, Value};
 /// admit the full set. This mirrors the boolean query-processing model the
 /// paper assumes the autonomous Web database exposes (Section 3.1,
 /// constraint 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum PredicateOp {
     /// `attr = v`
     Eq,
@@ -38,7 +38,11 @@ impl PredicateOp {
 }
 
 /// A single conjunct of a [`SelectionQuery`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The derived total order — `(attr, op, value)` lexicographically, with
+/// [`crate::Value`]'s NaN-collapsing `Ord` — is what makes a
+/// [`SelectionQuery`] canonicalizable and usable as a `BTreeMap` key.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Predicate {
     /// Attribute constrained by this predicate.
     pub attr: AttrId,
@@ -100,7 +104,13 @@ impl Predicate {
 /// A *precise* conjunctive selection query: the only kind the autonomous
 /// Web-database interface can evaluate. A tuple either satisfies all
 /// predicates or is not an answer — no ranking.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+///
+/// Queries carry a total order (predicate lists compared lexicographically)
+/// so that [`SelectionQuery::canonicalize`]d forms can key deterministic
+/// `BTreeMap`-based caches. Note that `Eq`/`Ord` compare the *syntactic*
+/// predicate list: `σ(A=1 ∧ B=2)` and `σ(B=2 ∧ A=1)` are different values
+/// but share one canonical form.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
 pub struct SelectionQuery {
     predicates: Vec<Predicate>,
 }
@@ -173,6 +183,19 @@ impl SelectionQuery {
                 .cloned()
                 .collect(),
         }
+    }
+
+    /// Canonical form: predicates sorted by `(attr, op, value)` with exact
+    /// duplicates removed. Conjunction is commutative and idempotent, so a
+    /// query and its canonical form select exactly the same tuples; two
+    /// queries with equal canonical forms are semantically interchangeable
+    /// probes. Probe-dedup and the memoizing cache key on this form.
+    #[must_use]
+    pub fn canonicalize(&self) -> SelectionQuery {
+        let mut predicates = self.predicates.clone();
+        predicates.sort();
+        predicates.dedup();
+        SelectionQuery { predicates }
     }
 
     /// Validate every predicate against `schema`.
@@ -518,6 +541,56 @@ mod tests {
         let r = q.relax(&[AttrId(0), AttrId(1)]);
         assert!(r.is_empty());
         assert!(r.matches(&tuple("BMW", "M3", 2005.0, 45000.0)));
+    }
+
+    #[test]
+    fn canonicalize_sorts_and_dedups() {
+        let a = Predicate::eq(AttrId(0), Value::cat("Toyota"));
+        let b = Predicate::eq(AttrId(1), Value::cat("Camry"));
+        let c = Predicate {
+            attr: AttrId(3),
+            op: PredicateOp::Ge,
+            value: Value::num(5000.0),
+        };
+        let q1 = SelectionQuery::new(vec![c.clone(), a.clone(), b.clone(), a.clone()]);
+        let q2 = SelectionQuery::new(vec![b.clone(), c.clone(), a.clone()]);
+        assert_ne!(q1, q2, "syntactic order distinguishes the raw queries");
+        assert_eq!(q1.canonicalize(), q2.canonicalize());
+        let canon = q1.canonicalize();
+        assert_eq!(canon.predicates(), &[a, b, c]);
+        // Canonicalization is idempotent and semantics-preserving.
+        assert_eq!(canon.canonicalize(), canon);
+        let t = tuple("Toyota", "Camry", 2000.0, 10000.0);
+        assert_eq!(q1.matches(&t), canon.matches(&t));
+    }
+
+    #[test]
+    fn canonical_queries_order_totally() {
+        // `Ord` must agree with `Eq` so canonical forms key a BTreeMap.
+        let q1 = SelectionQuery::new(vec![Predicate::eq(AttrId(0), Value::cat("A"))]);
+        let q2 = SelectionQuery::new(vec![Predicate::eq(AttrId(1), Value::cat("A"))]);
+        assert!(q1 < q2);
+        assert_eq!(q1.cmp(&q1), std::cmp::Ordering::Equal);
+        let mut map = std::collections::BTreeMap::new();
+        map.insert(q1.canonicalize(), 1);
+        map.insert(q2.canonicalize(), 2);
+        map.insert(q1.canonicalize(), 3); // same key, overwritten
+        assert_eq!(map.len(), 2);
+        assert_eq!(map[&q1.canonicalize()], 3);
+    }
+
+    #[test]
+    fn nan_values_still_canonicalize_deterministically() {
+        let p = |v: f64| Predicate {
+            attr: AttrId(3),
+            op: PredicateOp::Lt,
+            value: Value::num(v),
+        };
+        // All NaN payloads collapse to one canonical value, so two probes
+        // built from different NaNs share a cache key.
+        let q1 = SelectionQuery::new(vec![p(f64::NAN)]);
+        let q2 = SelectionQuery::new(vec![p(-f64::NAN)]);
+        assert_eq!(q1.canonicalize(), q2.canonicalize());
     }
 
     #[test]

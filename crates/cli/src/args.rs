@@ -53,6 +53,12 @@ impl Args {
         self.parse_or(name, default)
     }
 
+    /// Optional `bool` flag with a default (`--name true|false`; every
+    /// flag takes a value in this grammar, including switches).
+    pub fn bool_or(&self, name: &str, default: bool) -> Result<bool, String> {
+        self.parse_or(name, default)
+    }
+
     fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.flags.get(name) {
             None => Ok(default),
@@ -92,6 +98,15 @@ mod tests {
         assert!(a.f64_or("tsim", 0.5).is_err());
         let a = Args::parse(&argv(&["--tsim", "0.7"])).unwrap();
         assert_eq!(a.f64_or("tsim", 0.5).unwrap(), 0.7);
+    }
+
+    #[test]
+    fn bool_flags_take_explicit_values() {
+        let a = Args::parse(&argv(&["--no-cache", "true"])).unwrap();
+        assert!(a.bool_or("no-cache", false).unwrap());
+        assert!(!a.bool_or("other", false).unwrap());
+        let a = Args::parse(&argv(&["--no-cache", "yes"])).unwrap();
+        assert!(a.bool_or("no-cache", false).is_err());
     }
 
     #[test]

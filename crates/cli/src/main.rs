@@ -22,8 +22,8 @@ use aimq_afd::TaneConfig;
 use aimq_catalog::Schema;
 use aimq_data::CarDb;
 use aimq_storage::{
-    read_csv, FaultInjectingWebDb, FaultProfile, InMemoryWebDb, Relation, ResilientWebDb,
-    RetryPolicy,
+    read_csv, AccessStats, CachedWebDb, FaultInjectingWebDb, FaultProfile, InMemoryWebDb, Relation,
+    ResilientWebDb, RetryPolicy, WebDatabase, DEFAULT_CACHE_CAPACITY,
 };
 
 use args::Args;
@@ -69,13 +69,26 @@ fn print_help() {
          \x20            [--save MODEL]\n\
          \x20 aimq query --csv FILE --schema SPEC --query \"Attr like V, ...\"\n\
          \x20            [--tsim X] [--k N] [--sample N] [--seed S] [--model MODEL]\n\
-         \x20            [--faults none|flaky|hostile] [--fault-seed S]\n\n\
+         \x20            [--faults none|flaky|hostile] [--fault-seed S]\n\
+         \x20            [--cache-capacity N] [--no-cache true]\n\n\
          SPEC:  Name:cat,Name:num,...  (column order; CSV header must match)\n\
          QUERY: the paper's notation, e.g. \"Model like Camry, Price like 10000\"\n\
          FAULTS: inject a deterministic fault schedule into the source and\n\
          \x20       answer through the retry/breaker stack; the degradation\n\
-         \x20       line reports what failed and how complete the answer is"
+         \x20       line reports what failed and how complete the answer is\n\
+         CACHE: repeated probes are answered from a memoizing cache in\n\
+         \x20      front of the source (default capacity {}); `--no-cache\n\
+         \x20      true` sends every probe to the source",
+        DEFAULT_CACHE_CAPACITY
     );
+}
+
+/// One-line summary of the memoizing cache's work during a query.
+fn cache_summary(stats: &AccessStats) -> String {
+    format!(
+        "cache: {} hits, {} misses, {} evictions ({} probes reached the source)",
+        stats.cache_hits, stats.cache_misses, stats.cache_evictions, stats.queries_issued
+    )
 }
 
 /// Load the relation + schema a data-driven command needs.
@@ -241,12 +254,32 @@ fn query(args: &Args) -> Result<(), String> {
     let profile = FaultProfile::by_name(&profile_name)
         .ok_or_else(|| format!("unknown fault profile `{profile_name}` (none|flaky|hostile)"))?;
     let fault_seed = args.u64_or("fault-seed", seed)?;
-    let result = if profile.is_benign() {
-        system.answer(&db, &query, &config)
+    let no_cache = args.bool_or("no-cache", false)?;
+    let cache_capacity = args.usize_or("cache-capacity", DEFAULT_CACHE_CAPACITY)?;
+
+    // The memoizing cache always sits OUTERMOST so that hits cost
+    // nothing: no probe-budget charge, no breaker state, no fault
+    // ordinal (see DESIGN.md, "Probe caching & dedup semantics").
+    let (result, cache_note) = if profile.is_benign() {
+        if no_cache {
+            (system.answer(&db, &query, &config), None)
+        } else {
+            let cached = CachedWebDb::new(db, cache_capacity);
+            let result = system.answer(&cached, &query, &config);
+            let note = cache_summary(&cached.stats());
+            (result, Some(note))
+        }
     } else {
         let faulty = FaultInjectingWebDb::new(db, profile, fault_seed);
         let resilient = ResilientWebDb::new(faulty, RetryPolicy::default());
-        system.answer(&resilient, &query, &config)
+        if no_cache {
+            (system.answer(&resilient, &query, &config), None)
+        } else {
+            let cached = CachedWebDb::new(resilient, cache_capacity);
+            let result = system.answer(&cached, &query, &config);
+            let note = cache_summary(&cached.stats());
+            (result, Some(note))
+        }
     };
 
     println!("query: {}", query.display_with(&schema));
@@ -256,7 +289,11 @@ fn query(args: &Args) -> Result<(), String> {
         result.base_set_size,
         result.stats.tuples_examined
     );
-    println!("degradation: {}\n", result.degradation);
+    println!("degradation: {}", result.degradation);
+    if let Some(note) = &cache_note {
+        println!("{note}");
+    }
+    println!();
     if result.answers.is_empty() {
         match result.degradation.completeness {
             aimq::Completeness::Empty => println!(
@@ -436,6 +473,36 @@ mod tests {
                 Ok(()),
                 "profile {profile} must degrade gracefully, not error"
             );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cache_flags_are_accepted_in_every_combination() {
+        let path = write_mini_csv();
+        let csv = path.to_str().unwrap();
+        let schema = "Make:cat,Model:cat,Price:num";
+        for extra in [
+            &["--no-cache", "true"][..],
+            &["--cache-capacity", "4"][..],
+            &["--cache-capacity", "0"][..],
+            &["--faults", "flaky", "--cache-capacity", "64"][..],
+        ] {
+            let mut cmd = argv(&[
+                "query",
+                "--csv",
+                csv,
+                "--schema",
+                schema,
+                "--query",
+                "Model like Camry",
+                "--tsim",
+                "0.2",
+                "--sample",
+                "8",
+            ]);
+            cmd.extend(extra.iter().map(|s| (*s).to_owned()));
+            assert_eq!(run(&cmd), Ok(()), "flags {extra:?}");
         }
         std::fs::remove_file(&path).ok();
     }

@@ -3,7 +3,7 @@ use aimq_sim::SimilarityModel;
 use aimq_storage::WebDatabase;
 
 use crate::bind::precise_query_for;
-use crate::engine::DegradationReport;
+use crate::engine::{DegradationReport, ProbeMemo};
 use crate::RelaxationStrategy;
 
 /// Map an imprecise query to its base query `Qpr` and fetch the base set
@@ -35,6 +35,33 @@ pub fn derive_base_set(
     max_level: usize,
     report: &mut DegradationReport,
 ) -> (SelectionQuery, Vec<Tuple>) {
+    derive_base_set_memoized(
+        db,
+        query,
+        model,
+        strategy,
+        max_level,
+        report,
+        &mut ProbeMemo::disabled(),
+    )
+}
+
+/// [`derive_base_set`] with the engine's per-call probe memo threaded
+/// through: every successful page (the base query's and each
+/// generalization's) is recorded under its canonical query form, so the
+/// relaxation loop replays instead of re-issuing any probe that
+/// reproduces a derivation query. Derivation itself never repeats a
+/// query (the generalization steps are distinct subsets), so it only
+/// records.
+pub(crate) fn derive_base_set_memoized(
+    db: &dyn WebDatabase,
+    query: &ImpreciseQuery,
+    model: &SimilarityModel,
+    strategy: &mut dyn RelaxationStrategy,
+    max_level: usize,
+    report: &mut DegradationReport,
+    memo: &mut ProbeMemo,
+) -> (SelectionQuery, Vec<Tuple>) {
     let base = precise_query_for(model, query.bindings());
     report.note_attempt();
     match db.try_query(&base) {
@@ -42,6 +69,7 @@ pub fn derive_base_set(
             if page.truncated {
                 report.note_truncated();
             }
+            memo.record(base.canonicalize(), &page);
             if !page.tuples.is_empty() {
                 return (base, page.tuples);
             }
@@ -67,6 +95,7 @@ pub fn derive_base_set(
                 if page.truncated {
                     report.note_truncated();
                 }
+                memo.record(relaxed.canonicalize(), &page);
                 if !page.tuples.is_empty() {
                     return (relaxed, page.tuples);
                 }

@@ -1,12 +1,15 @@
+use std::collections::BTreeMap;
+// aimq-lint: allow(hashmap) -- import for the insert-only `examined` set below
 use std::collections::HashSet;
 use std::fmt;
 
 use aimq_catalog::{AttrId, ImpreciseQuery, SelectionQuery, Tuple};
 use aimq_sim::SimilarityModel;
-use aimq_storage::{QueryError, WebDatabase};
+use aimq_storage::{QueryError, QueryPage, WebDatabase};
 
-use crate::base_query::derive_base_set;
+use crate::base_query::derive_base_set_memoized;
 use crate::bind::tuple_query_for;
+use crate::relax::RelaxationStep;
 use crate::RelaxationStrategy;
 
 /// Tuning knobs of Algorithm 1. The paper leaves `Tsim` and `k` "tuned by
@@ -25,14 +28,27 @@ pub struct EngineConfig {
     /// a full relaxation-query sequence).
     pub max_base_tuples: usize,
     /// Optional early stop: end the whole search once this many relevant
-    /// tuples (beyond the base set) are in the extended set. Figure 6/7's
-    /// protocol stops at 20.
+    /// tuples **beyond the base set** are in the extended set. Figure
+    /// 6/7's protocol stops at 20. Base-set tuples are relevant by
+    /// construction and do not count toward the target — the knob asks
+    /// for relaxation-found answers, so `target_relevant <= |base set|`
+    /// still relaxes (an earlier revision counted the base set and
+    /// silently short-circuited after at most one relaxed answer).
     pub target_relevant: Option<usize>,
     /// Cap on relaxation queries issued per base tuple. Wide schemas
     /// (CensusDB has 13 attributes) make the multi-attribute combination
     /// space explode; the cap keeps the greedy prefix — which contains
     /// the least-important relaxations — and drops the tail.
     pub max_steps_per_tuple: usize,
+    /// Deduplicate the probe plan within one engine call: semantically
+    /// identical relaxation queries (canonically equal
+    /// [`SelectionQuery`]s) are issued once, and the page is fanned back
+    /// out to every interested base tuple for the `Tsim` filter. Base-set
+    /// tuples that agree on their non-relaxed attributes generate
+    /// byte-identical probes, so redundancy is the common case. On by
+    /// default; turn off to reproduce the non-deduplicating engine (the
+    /// eval harness does, to measure the saving).
+    pub dedup_probes: bool,
 }
 
 impl Default for EngineConfig {
@@ -44,6 +60,7 @@ impl Default for EngineConfig {
             max_base_tuples: 20,
             target_relevant: None,
             max_steps_per_tuple: 256,
+            dedup_probes: true,
         }
     }
 }
@@ -115,7 +132,14 @@ impl fmt::Display for Completeness {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DegradationReport {
     /// Probe queries the engine issued (base derivation + relaxation).
+    /// Planned probes answered by the in-call dedup memo are *not*
+    /// counted here — they never reached the source; see
+    /// [`DegradationReport::probes_deduped`].
     pub probes_attempted: u64,
+    /// Planned probes that canonically equaled an earlier probe of this
+    /// call and were answered by replaying its page instead of
+    /// re-querying the source ([`EngineConfig::dedup_probes`]).
+    pub probes_deduped: u64,
     /// Probes that came back with a [`QueryError`] after any retries.
     pub probes_failed: u64,
     /// Planned relaxation probes abandoned un-issued after the source
@@ -173,10 +197,11 @@ impl fmt::Display for DegradationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "completeness={} probes={} failed={} skipped={} levels-abandoned={} \
+            "completeness={} probes={} deduped={} failed={} skipped={} levels-abandoned={} \
              truncated={} retries={} breaker-trips={}{}",
             self.completeness,
             self.probes_attempted,
+            self.probes_deduped,
             self.probes_failed,
             self.probes_skipped,
             self.levels_abandoned,
@@ -235,12 +260,62 @@ pub struct AnswerSet {
     pub degradation: DegradationReport,
 }
 
-/// Distinct relaxation levels (step sizes) among `steps`.
-fn distinct_levels(steps: &[Vec<AttrId>]) -> u64 {
-    let mut sizes: Vec<usize> = steps.iter().map(Vec::len).collect();
-    sizes.sort_unstable();
-    sizes.dedup();
-    sizes.len() as u64
+/// Distinct *strategy-assigned* relaxation levels among the plan steps.
+/// Levels come from [`RelaxationStep::level`], not from step sizes — two
+/// same-size steps at different levels are two levels.
+fn distinct_levels(steps: &[RelaxationStep]) -> u64 {
+    let mut levels: Vec<usize> = steps.iter().map(|s| s.level).collect();
+    levels.sort_unstable();
+    levels.dedup();
+    levels.len() as u64
+}
+
+/// Per-call probe memo backing the planner's dedup: every successful page
+/// of this engine call, keyed on the canonical query form. A planned
+/// probe whose canonical query already succeeded replays the recorded
+/// page instead of re-querying the source; failed probes are never
+/// memoized (the next identical probe retries the source).
+///
+/// The memo spans the *whole* call — base-set derivation included — so a
+/// relaxation that reproduces the base query (common when a base tuple's
+/// bands equal the query's) is also free. It lives and dies with one
+/// `answer_imprecise_query` call; cross-call memoization is the job of
+/// [`aimq_storage::CachedWebDb`] at the source boundary.
+pub(crate) struct ProbeMemo {
+    enabled: bool,
+    pages: BTreeMap<SelectionQuery, QueryPage>,
+}
+
+impl ProbeMemo {
+    pub(crate) fn new(enabled: bool) -> Self {
+        ProbeMemo {
+            enabled,
+            pages: BTreeMap::new(),
+        }
+    }
+
+    /// A memo that never replays nor records (reproduces the
+    /// non-deduplicating engine).
+    pub(crate) fn disabled() -> Self {
+        Self::new(false)
+    }
+
+    /// The recorded page for the canonical `key`, if dedup is on and an
+    /// identical probe already succeeded this call.
+    pub(crate) fn replay(&self, key: &SelectionQuery) -> Option<QueryPage> {
+        if !self.enabled {
+            return None;
+        }
+        self.pages.get(key).cloned()
+    }
+
+    /// Record a successful page under the canonical `key`. First success
+    /// wins; later identical probes replay it.
+    pub(crate) fn record(&mut self, key: SelectionQuery, page: &QueryPage) {
+        if self.enabled {
+            self.pages.entry(key).or_insert_with(|| page.clone());
+        }
+    }
 }
 
 /// Algorithm 1 ("Finding Relevant Answers") of the paper, hardened for
@@ -266,21 +341,28 @@ pub fn answer_imprecise_query(
 ) -> AnswerSet {
     let stats_before = db.stats();
     let mut degradation = DegradationReport::default();
+    let mut memo = ProbeMemo::new(config.dedup_probes);
 
-    // Step 1: base query and base set.
-    let (base_query, base_set) = derive_base_set(
+    // Step 1: base query and base set. Derivation pages are recorded in
+    // the memo, so a later relaxation probe that reproduces one of them
+    // is replayed instead of re-issued.
+    let (base_query, base_set) = derive_base_set_memoized(
         db,
         query,
         model,
         strategy,
         config.max_relax_level,
         &mut degradation,
+        &mut memo,
     );
 
     // Extended set, deduplicated across overlapping relaxation queries.
     // Base-set tuples are answers (and relevant) by construction;
     // `examined` additionally remembers rejected candidates so a tuple
-    // retrieved by several relaxation queries is looked at once.
+    // retrieved by several relaxation queries is looked at once. The set
+    // is insert-only and only its `len()` is read — its randomized
+    // iteration order is never observed, so it cannot leak into results.
+    // aimq-lint: allow(hashmap) -- insert-only membership set, never iterated
     let mut examined: HashSet<Tuple> = HashSet::new();
     let mut extended: Vec<(Tuple, Provenance)> = Vec::new();
     for t in &base_set {
@@ -289,9 +371,16 @@ pub fn answer_imprecise_query(
         }
     }
 
-    // Steps 2-8: relax each base tuple, filter by Sim(t, t') > Tsim. A
-    // failed probe is recorded and skipped; a terminal failure abandons
-    // the remaining plan (accounted below).
+    // Base-set tuples are relevant by construction; the early-stop target
+    // counts only what relaxation finds *beyond* them.
+    let base_count = extended.len();
+
+    // Steps 2-8: relax each base tuple, filter by Sim(t, t') > Tsim. The
+    // planner dedups canonically identical probes against the per-call
+    // memo (identical relaxed queries are issued once, their page fanned
+    // back out to every interested base tuple at its original plan
+    // position). A failed probe is recorded and skipped; a terminal
+    // failure abandons the remaining plan (accounted below).
     let expanded_tuples = base_set.iter().take(config.max_base_tuples);
     let mut abandoned_at: Option<usize> = None;
     'outer: for (base_index, t) in expanded_tuples.enumerate() {
@@ -301,33 +390,42 @@ pub fn answer_imprecise_query(
         }
         let bound = t.bound_attrs();
         let tuple_query = tuple_query_for(model, t, &bound);
-        let mut steps = strategy.steps(&bound, config.max_relax_level);
-        steps.truncate(config.max_steps_per_tuple);
-        for (step_index, step) in steps.iter().enumerate() {
-            let relaxed = tuple_query.relax(step);
+        let mut plan = strategy.plan(&bound, config.max_relax_level);
+        plan.truncate(config.max_steps_per_tuple);
+        for (step_index, step) in plan.iter().enumerate() {
+            let relaxed = tuple_query.relax(&step.attrs);
             if relaxed.is_empty() {
                 continue;
             }
-            degradation.note_attempt();
-            let page = match db.try_query(&relaxed) {
-                Ok(page) => page,
-                Err(error) => {
-                    degradation.note_failure(error);
-                    if degradation.source_lost {
-                        // Account the rest of this tuple's plan, then
-                        // fall to the outer abandonment bookkeeping.
-                        let remaining = &steps[step_index + 1..];
-                        degradation.probes_skipped += remaining.len() as u64;
-                        degradation.levels_abandoned += distinct_levels(remaining);
-                        abandoned_at = Some(base_index + 1);
-                        break 'outer;
+            let key = relaxed.canonicalize();
+            let page = if let Some(page) = memo.replay(&key) {
+                degradation.probes_deduped += 1;
+                page
+            } else {
+                degradation.note_attempt();
+                match db.try_query(&relaxed) {
+                    Ok(page) => {
+                        if page.truncated {
+                            degradation.note_truncated();
+                        }
+                        memo.record(key, &page);
+                        page
                     }
-                    continue;
+                    Err(error) => {
+                        degradation.note_failure(error);
+                        if degradation.source_lost {
+                            // Account the rest of this tuple's plan, then
+                            // fall to the outer abandonment bookkeeping.
+                            let remaining = &plan[step_index + 1..];
+                            degradation.probes_skipped += remaining.len() as u64;
+                            degradation.levels_abandoned += distinct_levels(remaining);
+                            abandoned_at = Some(base_index + 1);
+                            break 'outer;
+                        }
+                        continue;
+                    }
                 }
             };
-            if page.truncated {
-                degradation.note_truncated();
-            }
             for candidate in page.tuples {
                 if !examined.insert(candidate.clone()) {
                     continue;
@@ -338,12 +436,12 @@ pub fn answer_imprecise_query(
                         candidate,
                         Provenance::Relaxed {
                             base_index,
-                            relaxed_attrs: step.clone(),
+                            relaxed_attrs: step.attrs.clone(),
                         },
                     ));
                     if config
                         .target_relevant
-                        .is_some_and(|target| extended.len() >= target)
+                        .is_some_and(|target| extended.len() - base_count >= target)
                     {
                         break 'outer;
                     }
@@ -357,10 +455,10 @@ pub fn answer_imprecise_query(
     if let Some(from) = abandoned_at {
         for t in base_set.iter().take(config.max_base_tuples).skip(from) {
             let bound = t.bound_attrs();
-            let mut steps = strategy.steps(&bound, config.max_relax_level);
-            steps.truncate(config.max_steps_per_tuple);
-            degradation.probes_skipped += steps.len() as u64;
-            degradation.levels_abandoned += distinct_levels(&steps);
+            let mut plan = strategy.plan(&bound, config.max_relax_level);
+            plan.truncate(config.max_steps_per_tuple);
+            degradation.probes_skipped += plan.len() as u64;
+            degradation.levels_abandoned += distinct_levels(&plan);
         }
     }
 
@@ -449,6 +547,7 @@ mod tests {
     fn report_display_is_one_line() {
         let r = DegradationReport {
             probes_attempted: 12,
+            probes_deduped: 7,
             probes_failed: 2,
             probes_skipped: 3,
             levels_abandoned: 1,
@@ -461,14 +560,305 @@ mod tests {
         let line = r.to_string();
         assert!(!line.contains('\n'));
         assert!(line.contains("completeness=partial"));
+        assert!(line.contains("deduped=7"));
         assert!(line.contains("source-lost"));
         assert!(r.is_degraded());
     }
 
     #[test]
-    fn distinct_levels_counts_step_sizes() {
-        let steps = vec![vec![AttrId(0)], vec![AttrId(1)], vec![AttrId(0), AttrId(1)]];
+    fn distinct_levels_follows_strategy_levels_not_sizes() {
+        let steps = vec![
+            RelaxationStep::of(vec![AttrId(0)]),
+            RelaxationStep::of(vec![AttrId(1)]),
+            RelaxationStep::of(vec![AttrId(0), AttrId(1)]),
+        ];
         assert_eq!(distinct_levels(&steps), 2);
+        // Two same-size steps at different strategy-assigned levels are
+        // two levels (the old size-based accounting said one).
+        let escalated = vec![
+            RelaxationStep {
+                attrs: vec![AttrId(0)],
+                level: 1,
+            },
+            RelaxationStep {
+                attrs: vec![AttrId(1)],
+                level: 2,
+            },
+        ];
+        assert_eq!(distinct_levels(&escalated), 2);
         assert_eq!(distinct_levels(&[]), 0);
+    }
+
+    #[test]
+    fn probe_memo_replays_only_when_enabled() {
+        let q = SelectionQuery::all();
+        let page = QueryPage::complete(Vec::new());
+        let mut off = ProbeMemo::disabled();
+        off.record(q.clone(), &page);
+        assert!(off.replay(&q).is_none());
+        let mut on = ProbeMemo::new(true);
+        assert!(on.replay(&q).is_none());
+        on.record(q.clone(), &page);
+        assert_eq!(on.replay(&q), Some(page));
+    }
+}
+
+#[cfg(test)]
+mod behavior_tests {
+    use super::*;
+    use crate::relax::RelaxationStrategy;
+    use crate::GuidedRelax;
+    use aimq_afd::{AttributeOrdering, BucketConfig};
+    use aimq_catalog::{Schema, Value};
+    use aimq_sim::SimConfig;
+    use aimq_storage::{AccessStats, InMemoryWebDb, Relation};
+    use std::sync::Mutex;
+
+    fn schema() -> Schema {
+        Schema::builder("R")
+            .categorical("A")
+            .categorical("B")
+            .categorical("C")
+            .build()
+            .unwrap()
+    }
+
+    /// A relation whose base set contains byte-identical tuples — the
+    /// redundancy case the planner dedups: identical tuples generate
+    /// identical relaxation-query sequences.
+    fn world() -> (InMemoryWebDb, SimilarityModel, ImpreciseQuery) {
+        let s = schema();
+        let rows = [
+            ("x", "y", "z"),
+            ("x", "y", "z"),
+            ("x", "q", "z"),
+            ("p", "y", "z"),
+            ("x", "y", "r"),
+        ];
+        let tuples: Vec<Tuple> = rows
+            .iter()
+            .map(|&(a, b, c)| {
+                Tuple::new(&s, vec![Value::cat(a), Value::cat(b), Value::cat(c)]).unwrap()
+            })
+            .collect();
+        let relation = Relation::from_tuples(s.clone(), &tuples).unwrap();
+        let ordering = AttributeOrdering::uniform(&s).unwrap();
+        let model = SimilarityModel::build(
+            &relation,
+            &ordering,
+            &SimConfig {
+                bucket: BucketConfig::for_schema(&s),
+            },
+        );
+        let q = ImpreciseQuery::builder(&s)
+            .like("A", Value::cat("x"))
+            .unwrap()
+            .like("B", Value::cat("y"))
+            .unwrap()
+            .like("C", Value::cat("z"))
+            .unwrap()
+            .build()
+            .unwrap();
+        (InMemoryWebDb::new(relation), model, q)
+    }
+
+    fn strategy(model: &SimilarityModel) -> GuidedRelax {
+        GuidedRelax::new(model.ordering().clone())
+    }
+
+    fn answer_fingerprint(result: &AnswerSet) -> String {
+        let answers: Vec<String> = result
+            .answers
+            .iter()
+            .map(|a| {
+                format!(
+                    "{:?}@{:016x}/{:?}",
+                    a.tuple,
+                    a.similarity.to_bits(),
+                    a.provenance
+                )
+            })
+            .collect();
+        answers.join(";")
+    }
+
+    /// Tentpole: identical probe sequences from identical base tuples are
+    /// issued once, the saving is metered, and the answers (tuples,
+    /// similarities, provenance) are byte-identical to the
+    /// non-deduplicating engine.
+    #[test]
+    fn planner_dedup_preserves_answers_and_cuts_queries() {
+        let config = EngineConfig {
+            t_sim: 0.05,
+            top_k: 10,
+            ..EngineConfig::default()
+        };
+        let (db, model, q) = world();
+        let mut s = strategy(&model);
+        let deduped = answer_imprecise_query(&db, &q, &model, &mut s, &config);
+        let deduped_issued = db.stats().queries_issued;
+
+        let (db, model, q) = world();
+        let mut s = strategy(&model);
+        let baseline_config = EngineConfig {
+            dedup_probes: false,
+            ..config
+        };
+        let baseline = answer_imprecise_query(&db, &q, &model, &mut s, &baseline_config);
+        let baseline_issued = db.stats().queries_issued;
+
+        assert_eq!(deduped.base_set_size, 2, "two identical base tuples");
+        assert!(
+            deduped.degradation.probes_deduped > 0,
+            "identical plans must dedup"
+        );
+        assert_eq!(baseline.degradation.probes_deduped, 0);
+        assert!(
+            deduped_issued < baseline_issued,
+            "dedup must reduce source traffic ({deduped_issued} vs {baseline_issued})"
+        );
+        // Every planned probe is accounted exactly once: issued or deduped.
+        assert_eq!(
+            deduped.degradation.probes_attempted + deduped.degradation.probes_deduped,
+            baseline.degradation.probes_attempted,
+        );
+        assert_eq!(answer_fingerprint(&deduped), answer_fingerprint(&baseline));
+        assert_eq!(
+            deduped.stats.tuples_examined,
+            baseline.stats.tuples_examined
+        );
+        assert_eq!(deduped.stats.relevant_found, baseline.stats.relevant_found);
+    }
+
+    /// Satellite regression: `target_relevant` counts relevant tuples
+    /// *beyond* the base set. With `target <= |base set|` the engine must
+    /// still relax until that many relaxed answers are found, not stop at
+    /// the first one.
+    #[test]
+    fn target_relevant_counts_beyond_the_base_set() {
+        let (db, model, q) = world();
+        let mut s = strategy(&model);
+        let config = EngineConfig {
+            t_sim: 0.05,
+            top_k: 10,
+            target_relevant: Some(2), // == |base set|: the old bug's blind spot
+            ..EngineConfig::default()
+        };
+        let result = answer_imprecise_query(&db, &q, &model, &mut s, &config);
+        assert_eq!(result.base_set_size, 2);
+        let relaxed_answers = result
+            .answers
+            .iter()
+            .filter(|a| matches!(a.provenance, Provenance::Relaxed { .. }))
+            .count();
+        assert_eq!(
+            relaxed_answers, 2,
+            "the early stop fires at exactly `target` relaxed answers"
+        );
+        // The two identical base tuples collapse to one distinct relevant
+        // entry; the old `extended.len() >= target` check would have
+        // stopped after a single relaxed answer here.
+        assert_eq!(result.stats.relevant_found, 1 + 2);
+    }
+
+    /// A source that dies for good after a fixed number of successes.
+    struct DyingDb {
+        inner: InMemoryWebDb,
+        successes_left: Mutex<u32>,
+    }
+
+    impl WebDatabase for DyingDb {
+        fn schema(&self) -> &Schema {
+            self.inner.schema()
+        }
+        fn try_query(&self, query: &SelectionQuery) -> Result<QueryPage, QueryError> {
+            let mut left = self.successes_left.lock().unwrap();
+            if *left == 0 {
+                return Err(QueryError::Unavailable);
+            }
+            *left -= 1;
+            self.inner.try_query(query)
+        }
+        fn stats(&self) -> AccessStats {
+            self.inner.stats()
+        }
+        fn reset_stats(&self) {
+            self.inner.reset_stats()
+        }
+    }
+
+    /// Satellite regression: `levels_abandoned` follows the strategy's
+    /// level structure. An escalation strategy emits same-*size* steps at
+    /// different levels; abandoning two of them must count two levels
+    /// (the old size-based accounting counted one).
+    #[test]
+    fn abandonment_counts_strategy_levels_not_step_sizes() {
+        struct Escalating;
+        impl RelaxationStrategy for Escalating {
+            fn steps(&mut self, attrs: &[AttrId], _max_level: usize) -> Vec<Vec<AttrId>> {
+                attrs.iter().map(|&a| vec![a]).collect()
+            }
+            fn plan(&mut self, attrs: &[AttrId], max_level: usize) -> Vec<RelaxationStep> {
+                self.steps(attrs, max_level)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(pass, attrs)| RelaxationStep {
+                        attrs,
+                        level: pass + 1,
+                    })
+                    .collect()
+            }
+            fn name(&self) -> &'static str {
+                "Escalating"
+            }
+        }
+
+        let s = schema();
+        let t = Tuple::new(&s, vec![Value::cat("x"), Value::cat("y"), Value::cat("z")]).unwrap();
+        let relation = Relation::from_tuples(s.clone(), &[t]).unwrap();
+        let ordering = AttributeOrdering::uniform(&s).unwrap();
+        let model = SimilarityModel::build(
+            &relation,
+            &ordering,
+            &SimConfig {
+                bucket: BucketConfig::for_schema(&s),
+            },
+        );
+        let q = ImpreciseQuery::builder(&s)
+            .like("A", Value::cat("x"))
+            .unwrap()
+            .like("B", Value::cat("y"))
+            .unwrap()
+            .like("C", Value::cat("z"))
+            .unwrap()
+            .build()
+            .unwrap();
+        // One success (the base query), then the source is gone: the
+        // first relaxation probe fails terminally, abandoning the two
+        // remaining steps of the 3-step escalation plan.
+        let db = DyingDb {
+            inner: InMemoryWebDb::new(relation),
+            successes_left: Mutex::new(1),
+        };
+        let mut strategy = Escalating;
+        let result = answer_imprecise_query(
+            &db,
+            &q,
+            &model,
+            &mut strategy,
+            &EngineConfig {
+                t_sim: 0.05,
+                ..EngineConfig::default()
+            },
+        );
+        let d = &result.degradation;
+        assert!(d.source_lost);
+        assert_eq!(d.probes_skipped, 2, "two planned steps never issued");
+        assert_eq!(
+            d.levels_abandoned, 2,
+            "same-size steps at levels 2 and 3 are two abandoned levels"
+        );
+        assert_eq!(result.base_set_size, 1);
+        assert_eq!(d.completeness, Completeness::Partial);
     }
 }

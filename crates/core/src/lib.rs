@@ -49,5 +49,5 @@ pub use engine::{
 };
 pub use feedback::FeedbackTuner;
 pub use persist::PersistError;
-pub use relax::{GuidedRelax, RandomRelax, RelaxationStrategy};
+pub use relax::{GuidedRelax, RandomRelax, RelaxationStep, RelaxationStrategy};
 pub use system::{AimqError, AimqSystem, TrainConfig};

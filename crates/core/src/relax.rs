@@ -3,6 +3,33 @@ use aimq_catalog::AttrId;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+/// One planned relaxation probe: the attributes whose constraints are
+/// dropped simultaneously, and the relaxation *level* the strategy
+/// assigns the step.
+///
+/// For the paper's strategies the level is simply the step size (level 1
+/// drops one attribute, level 2 drops pairs, ...), but the two are not the
+/// same concept: a strategy may revisit a single-attribute relaxation at a
+/// deeper level of an escalation schedule. Abandonment accounting
+/// (`DegradationReport::levels_abandoned`) follows the strategy-assigned
+/// level, never the step size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelaxationStep {
+    /// Attributes to drop simultaneously.
+    pub attrs: Vec<AttrId>,
+    /// The strategy's level for this step (1-based).
+    pub level: usize,
+}
+
+impl RelaxationStep {
+    /// A step under the paper's default level structure: the level is the
+    /// number of attributes relaxed at once.
+    pub fn of(attrs: Vec<AttrId>) -> Self {
+        let level = attrs.len();
+        RelaxationStep { attrs, level }
+    }
+}
+
 /// A query-relaxation strategy: given the bound attributes of a fully
 /// bound tuple query, produce the ordered sequence of attribute subsets
 /// whose constraints should be dropped, level by level (all 1-attribute
@@ -15,6 +42,19 @@ pub trait RelaxationStrategy {
     /// of `max_level` attributes. Each step is a set of attributes to
     /// drop *simultaneously*.
     fn steps(&mut self, attrs: &[AttrId], max_level: usize) -> Vec<Vec<AttrId>>;
+
+    /// The annotated probe plan the engine executes: every step from
+    /// [`RelaxationStrategy::steps`] plus the level the strategy assigns
+    /// it. The default derives the level from the step size (the paper's
+    /// definition); strategies with their own level structure override
+    /// this so the engine's `levels_abandoned` accounting follows the
+    /// strategy's levels rather than equating level with size.
+    fn plan(&mut self, attrs: &[AttrId], max_level: usize) -> Vec<RelaxationStep> {
+        self.steps(attrs, max_level)
+            .into_iter()
+            .map(RelaxationStep::of)
+            .collect()
+    }
 
     /// Human-readable name for reports ("GuidedRelax" / "RandomRelax").
     fn name(&self) -> &'static str;
@@ -237,6 +277,48 @@ mod tests {
             assert_eq!(s.len(), step.len());
             assert!(step.iter().all(|a| attrs.contains(a)));
         }
+    }
+
+    #[test]
+    fn default_plan_levels_are_step_sizes() {
+        let mut g = GuidedRelax::new(ordering());
+        let attrs: Vec<AttrId> = (0..4).map(AttrId).collect();
+        let plan = g.plan(&attrs, 2);
+        let steps = GuidedRelax::new(ordering()).steps(&attrs, 2);
+        assert_eq!(plan.len(), steps.len());
+        for (p, s) in plan.iter().zip(&steps) {
+            assert_eq!(&p.attrs, s);
+            assert_eq!(p.level, s.len());
+        }
+    }
+
+    #[test]
+    fn strategies_may_assign_levels_independent_of_size() {
+        // A strategy whose level structure is an escalation schedule:
+        // every step drops one attribute, but each pass is a deeper level.
+        struct Escalating;
+        impl RelaxationStrategy for Escalating {
+            fn steps(&mut self, attrs: &[AttrId], _max_level: usize) -> Vec<Vec<AttrId>> {
+                attrs.iter().map(|&a| vec![a]).collect()
+            }
+            fn plan(&mut self, attrs: &[AttrId], max_level: usize) -> Vec<RelaxationStep> {
+                self.steps(attrs, max_level)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(pass, attrs)| RelaxationStep {
+                        attrs,
+                        level: pass + 1,
+                    })
+                    .collect()
+            }
+            fn name(&self) -> &'static str {
+                "Escalating"
+            }
+        }
+        let plan = Escalating.plan(&[AttrId(0), AttrId(1), AttrId(2)], 3);
+        assert!(plan.iter().all(|s| s.attrs.len() == 1));
+        let levels: Vec<usize> = plan.iter().map(|s| s.level).collect();
+        assert_eq!(levels, vec![1, 2, 3], "same-size steps, distinct levels");
     }
 
     #[test]

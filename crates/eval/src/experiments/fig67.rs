@@ -103,6 +103,7 @@ pub fn run(scale: Scale, seed: u64) -> Fig67Result {
             max_base_tuples: 20,
             target_relevant: Some(target),
             max_steps_per_tuple: 300,
+            ..EngineConfig::default()
         };
 
         let run_method = |strategy: &mut dyn RelaxationStrategy| -> (f64, usize) {

@@ -169,6 +169,7 @@ pub fn run(scale: Scale, seed: u64) -> Fig8Result {
         max_base_tuples: 10,
         target_relevant: Some(20),
         max_steps_per_tuple: 256,
+        ..EngineConfig::default()
     };
 
     let mut guided_total = 0.0;

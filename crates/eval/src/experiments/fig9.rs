@@ -114,6 +114,7 @@ pub fn run(scale: Scale, seed: u64) -> Fig9Result {
         // Cover every relaxation set up to 4 attributes (Σ C(13,1..4) =
         // 1092 steps) plus the cheapest 5-attribute sets.
         max_steps_per_tuple: 1200,
+        ..EngineConfig::default()
     };
 
     let mut aimq_acc = vec![0.0; ks.len()];

@@ -7,6 +7,7 @@
 //! paper-vs-measured record.
 
 pub mod ablation;
+pub mod cache;
 pub mod common;
 pub mod faults;
 pub mod feedback;

@@ -18,6 +18,7 @@
 //! | Relevance feedback (extension) | — (Section 7 plan) | [`experiments::feedback`] |
 //! | Importance-source ablation (extension) | — | [`experiments::ablation`] |
 //! | Fault matrix: degradation under source failures (extension) | — | [`experiments::faults`] |
+//! | Probe economy: dedup + cache vs the seed engine (extension) | — | [`experiments::cache`] |
 //!
 //! Each runner is a pure function of a [`Scale`] (dataset sizes) and a
 //! seed, returns a typed result struct, and renders the same rows/series

@@ -1,0 +1,459 @@
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use aimq_catalog::{Schema, SelectionQuery};
+
+use crate::web::{lock_stats, AccessStats, QueryError, QueryPage, WebDatabase};
+
+/// Default number of memoized pages ([`CachedWebDb::new`] callers that have
+/// no better number; the CLI default).
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Everything the cache protects under one lock: the memo itself, the
+/// FIFO admission order, and the hit/miss/eviction counters (so a stats
+/// overlay is internally consistent).
+#[derive(Debug, Default)]
+struct CacheState {
+    /// Memoized pages, keyed on the *canonical* query form. `BTreeMap`
+    /// keeps every walk of the cache deterministic (xtask L3 bans the
+    /// randomized `HashMap` in this codebase's deterministic layers).
+    pages: BTreeMap<SelectionQuery, QueryPage>,
+    /// Insertion order of the keys in `pages`; the front is next to be
+    /// evicted. FIFO rather than LRU: eviction order then depends only on
+    /// the sequence of *misses*, never on hit timing, which keeps replayed
+    /// runs byte-identical even if an observer probes the cache.
+    order: VecDeque<SelectionQuery>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A memoizing decorator for any [`WebDatabase`]: repeated semantically
+/// identical probes are answered from memory instead of re-querying the
+/// autonomous source.
+///
+/// Algorithm 1 re-issues many byte-identical relaxation queries — base-set
+/// tuples that agree on their non-relaxed attributes produce the *same*
+/// `SelectionQuery`, and overlapping workload queries repeat probes across
+/// engine calls. Each repeat costs a round trip, a
+/// [`AccessStats::queries_issued`] tick, and (behind a
+/// [`crate::ResilientWebDb`]) a probe-budget charge. This decorator
+/// eliminates the repeats at the source boundary.
+///
+/// Semantics:
+///
+/// - Keys are [`SelectionQuery::canonicalize`]d, so predicate order and
+///   duplicate conjuncts do not defeat the cache.
+/// - Only *successful, complete* pages are memoized. Errors always
+///   propagate and are retried on the next probe (negative caching would
+///   turn a transient fault into a permanent one), and truncated pages are
+///   forwarded but not stored (a clipped page is not the query's answer;
+///   replaying it would freeze one page-limit draw into the session).
+/// - The memo is bounded: at most `capacity` pages, evicted FIFO. A
+///   `capacity` of zero stores nothing (every probe forwards), which is how
+///   `--no-cache` is implemented without changing the decorator stack.
+/// - Cache hits never touch the inner database: no probe budget is
+///   charged, no circuit breaker state advances, no fault-schedule ordinal
+///   is consumed, and [`AccessStats::queries_issued`] does not move. The
+///   supported composition is therefore cache *outermost*:
+///   `CachedWebDb<ResilientWebDb<FaultInjectingWebDb<_>>>`. Stacking the
+///   cache inside the resilience layer would charge budget for hits
+///   (`ResilientWebDb` meters before delegating) — see the stacking-order
+///   test below and DESIGN.md, "Probe caching & dedup semantics".
+///
+/// [`WebDatabase::stats`] overlays [`AccessStats::cache_hits`] /
+/// [`AccessStats::cache_misses`] / [`AccessStats::cache_evictions`] on the
+/// inner meter; [`WebDatabase::reset_stats`] clears the counters but keeps
+/// the memo (use [`CachedWebDb::clear`] to drop memoized pages).
+///
+/// Cloning shares the memo and the counters.
+#[derive(Debug, Clone)]
+pub struct CachedWebDb<D> {
+    inner: D,
+    capacity: usize,
+    state: Arc<Mutex<CacheState>>,
+}
+
+impl<D: WebDatabase> CachedWebDb<D> {
+    /// Wrap `inner` with a memo of at most `capacity` pages.
+    pub fn new(inner: D, capacity: usize) -> Self {
+        CachedWebDb {
+            inner,
+            capacity,
+            state: Arc::new(Mutex::new(CacheState::default())),
+        }
+    }
+
+    /// Wrap `inner` with the default capacity
+    /// ([`DEFAULT_CACHE_CAPACITY`]).
+    pub fn with_default_capacity(inner: D) -> Self {
+        Self::new(inner, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// The wrapped database.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// The capacity bound this cache was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of pages currently memoized.
+    pub fn len(&self) -> usize {
+        lock_stats(&self.state).pages.len()
+    }
+
+    /// `true` when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every memoized page (counters are untouched; eviction is not
+    /// counted — nothing was displaced by an admission).
+    pub fn clear(&self) {
+        let mut state = lock_stats(&self.state);
+        state.pages.clear();
+        state.order.clear();
+    }
+}
+
+impl<D: WebDatabase> WebDatabase for CachedWebDb<D> {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn try_query(&self, query: &SelectionQuery) -> Result<QueryPage, QueryError> {
+        let key = query.canonicalize();
+        {
+            let mut state = lock_stats(&self.state);
+            if let Some(page) = state.pages.get(&key) {
+                let page = page.clone();
+                state.hits += 1;
+                return Ok(page);
+            }
+            state.misses += 1;
+        }
+        // Forward without holding the lock: the inner stack may spend
+        // virtual time retrying/backing off, and concurrent probes for
+        // *other* queries must not serialize behind it.
+        let page = self.inner.try_query(query)?;
+        if !page.truncated && self.capacity > 0 {
+            let mut state = lock_stats(&self.state);
+            // A concurrent miss for the same query may have raced us here;
+            // first insertion wins so `order` never holds a duplicate key.
+            if !state.pages.contains_key(&key) {
+                state.order.push_back(key.clone());
+                state.pages.insert(key, page.clone());
+                while state.pages.len() > self.capacity {
+                    match state.order.pop_front() {
+                        Some(oldest) => {
+                            state.pages.remove(&oldest);
+                            state.evictions += 1;
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+        Ok(page)
+    }
+
+    fn stats(&self) -> AccessStats {
+        let inner = self.inner.stats();
+        let state = lock_stats(&self.state);
+        AccessStats {
+            cache_hits: inner.cache_hits + state.hits,
+            cache_misses: inner.cache_misses + state.misses,
+            cache_evictions: inner.cache_evictions + state.evictions,
+            ..inner
+        }
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats();
+        let mut state = lock_stats(&self.state);
+        state.hits = 0;
+        state.misses = 0;
+        state.evictions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        FaultInjectingWebDb, FaultProfile, InMemoryWebDb, Relation, ResilientWebDb, RetryPolicy,
+    };
+    use aimq_catalog::{AttrId, Predicate, Schema, Tuple, Value};
+
+    fn relation() -> Relation {
+        let schema = Schema::builder("R")
+            .categorical("Make")
+            .numeric("Price")
+            .build()
+            .unwrap();
+        let tuples: Vec<Tuple> = [("Toyota", 10000.0), ("Honda", 9000.0), ("Toyota", 7000.0)]
+            .iter()
+            .map(|&(m, p)| Tuple::new(&schema, vec![Value::cat(m), Value::num(p)]).unwrap())
+            .collect();
+        Relation::from_tuples(schema, &tuples).unwrap()
+    }
+
+    fn make_eq(make: &str) -> Predicate {
+        Predicate::eq(AttrId(0), Value::cat(make))
+    }
+
+    fn price_ge(p: f64) -> Predicate {
+        Predicate {
+            attr: AttrId(1),
+            op: aimq_catalog::PredicateOp::Ge,
+            value: Value::num(p),
+        }
+    }
+
+    #[test]
+    fn repeat_probe_is_served_from_memory() {
+        let db = CachedWebDb::new(InMemoryWebDb::new(relation()), 16);
+        let q = SelectionQuery::new(vec![make_eq("Toyota")]);
+        let first = db.try_query(&q).unwrap();
+        let second = db.try_query(&q).unwrap();
+        assert_eq!(first, second);
+        let s = db.stats();
+        assert_eq!(s.queries_issued, 1, "the source saw the probe once");
+        assert_eq!((s.cache_hits, s.cache_misses), (1, 1));
+        assert_eq!(db.inner().stats().queries_issued, 1);
+    }
+
+    #[test]
+    fn keying_is_canonical_not_syntactic() {
+        let db = CachedWebDb::new(InMemoryWebDb::new(relation()), 16);
+        let a = SelectionQuery::new(vec![make_eq("Toyota"), price_ge(8000.0)]);
+        let b = SelectionQuery::new(vec![price_ge(8000.0), make_eq("Toyota"), make_eq("Toyota")]);
+        let pa = db.try_query(&a).unwrap();
+        let pb = db.try_query(&b).unwrap();
+        assert_eq!(pa, pb);
+        assert_eq!(db.stats().cache_hits, 1, "permuted conjuncts must hit");
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_fifo() {
+        let db = CachedWebDb::new(InMemoryWebDb::new(relation()), 2);
+        let qs: Vec<SelectionQuery> = [6500.0, 8500.0, 9500.0]
+            .iter()
+            .map(|&p| SelectionQuery::new(vec![price_ge(p)]))
+            .collect();
+        for q in &qs {
+            db.try_query(q).unwrap();
+        }
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.stats().cache_evictions, 1);
+        // FIFO: the first-admitted key is gone, the later two still hit.
+        db.try_query(&qs[1]).unwrap();
+        db.try_query(&qs[2]).unwrap();
+        assert_eq!(db.stats().cache_hits, 2);
+        db.try_query(&qs[0]).unwrap();
+        assert_eq!(db.stats().cache_hits, 2, "evicted key must miss");
+    }
+
+    #[test]
+    fn zero_capacity_disables_memoization() {
+        let db = CachedWebDb::new(InMemoryWebDb::new(relation()), 0);
+        let q = SelectionQuery::new(vec![make_eq("Toyota")]);
+        db.try_query(&q).unwrap();
+        db.try_query(&q).unwrap();
+        let s = db.stats();
+        assert_eq!(s.queries_issued, 2);
+        assert_eq!((s.cache_hits, s.cache_misses, s.cache_evictions), (0, 2, 0));
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn truncated_pages_are_forwarded_but_not_memoized() {
+        let db = CachedWebDb::new(InMemoryWebDb::new(relation()).with_result_limit(1), 16);
+        let all = SelectionQuery::all();
+        let page = db.try_query(&all).unwrap();
+        assert!(page.truncated);
+        db.try_query(&all).unwrap();
+        let s = db.stats();
+        assert_eq!(s.cache_hits, 0, "clipped pages must not be replayed");
+        assert_eq!(s.queries_issued, 2);
+        // A complete page for a different query still caches.
+        let q = SelectionQuery::new(vec![make_eq("Honda")]);
+        db.try_query(&q).unwrap();
+        db.try_query(&q).unwrap();
+        assert_eq!(db.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn errors_propagate_and_are_not_cached() {
+        // A dead source: every probe must reach it (and fail) — the cache
+        // never memoizes a failure as if it were an answer.
+        let dead = FaultProfile {
+            unavailable_probability: 1.0,
+            ..FaultProfile::none()
+        };
+        let db = CachedWebDb::new(
+            FaultInjectingWebDb::new(InMemoryWebDb::new(relation()), dead, 7),
+            16,
+        );
+        let q = SelectionQuery::new(vec![make_eq("Toyota")]);
+        assert_eq!(db.try_query(&q), Err(QueryError::Unavailable));
+        assert_eq!(db.try_query(&q), Err(QueryError::Unavailable));
+        let s = db.stats();
+        assert_eq!(s.cache_misses, 2);
+        assert_eq!(s.failures, 2);
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn reset_stats_keeps_the_memo_and_clear_drops_it() {
+        let db = CachedWebDb::new(InMemoryWebDb::new(relation()), 16);
+        let q = SelectionQuery::new(vec![make_eq("Toyota")]);
+        db.try_query(&q).unwrap();
+        db.reset_stats();
+        assert_eq!(db.stats(), AccessStats::default());
+        assert_eq!(db.len(), 1, "reset_stats must not flush pages");
+        db.try_query(&q).unwrap();
+        assert_eq!(db.stats().cache_hits, 1);
+        db.clear();
+        assert!(db.is_empty());
+        db.try_query(&q).unwrap();
+        assert_eq!(db.stats().cache_hits, 1, "cleared page misses again");
+    }
+
+    /// Satellite: the supported stacking order. Cache *outside* the
+    /// resilience layer means hits consume no probe budget; cache *inside*
+    /// it means every hit is still charged. The probe budget below admits
+    /// exactly two attempts, so the supported order answers three probes
+    /// (one miss + two hits) while the unsupported order fast-fails.
+    #[test]
+    fn stacking_order_cache_outside_resilience_spares_the_budget() {
+        let q = SelectionQuery::new(vec![make_eq("Toyota")]);
+        let policy = RetryPolicy {
+            probe_budget: Some(2),
+            ..RetryPolicy::default()
+        };
+
+        // Supported: Cached(Resilient(Fault(db))).
+        let supported = CachedWebDb::new(
+            ResilientWebDb::new(
+                FaultInjectingWebDb::new(InMemoryWebDb::new(relation()), FaultProfile::none(), 1),
+                policy.clone(),
+            ),
+            16,
+        );
+        for _ in 0..3 {
+            assert!(supported.try_query(&q).is_ok(), "hits are budget-free");
+        }
+        assert_eq!(supported.stats().cache_hits, 2);
+
+        // Unsupported: Resilient(Cached(Fault(db))) — the budget meter
+        // sits above the cache, so even hits are charged and the third
+        // probe dies on an exhausted budget.
+        let unsupported = ResilientWebDb::new(
+            CachedWebDb::new(
+                FaultInjectingWebDb::new(InMemoryWebDb::new(relation()), FaultProfile::none(), 1),
+                16,
+            ),
+            policy,
+        );
+        assert!(unsupported.try_query(&q).is_ok());
+        assert!(unsupported.try_query(&q).is_ok());
+        assert_eq!(
+            unsupported.try_query(&q),
+            Err(QueryError::Unavailable),
+            "inner cache cannot protect the probe budget"
+        );
+    }
+
+    /// Satellite: cache hits must not advance the deterministic fault
+    /// schedule. With the cache outermost, a workload with repeats sees
+    /// exactly the fate sequence of its deduplicated probe sequence.
+    #[test]
+    fn hits_do_not_consume_fault_schedule_ordinals() {
+        let profile = FaultProfile::flaky();
+        let seed = 42;
+        let queries: Vec<SelectionQuery> = [6500.0, 8500.0, 9500.0, 10500.0]
+            .iter()
+            .map(|&p| SelectionQuery::new(vec![price_ge(p)]))
+            .collect();
+
+        // Reference: the distinct queries, each issued once, bare.
+        let bare = FaultInjectingWebDb::new(InMemoryWebDb::new(relation()), profile, seed);
+        let reference: Vec<Result<QueryPage, QueryError>> =
+            queries.iter().map(|q| bare.try_query(q)).collect();
+
+        // Cached run: each query issued twice; the repeats hit the memo
+        // (successful complete pages) or re-probe (failures), but the
+        // *first* outcomes replay the reference schedule positions only
+        // when hits consume no ordinals.
+        let cached = CachedWebDb::new(
+            FaultInjectingWebDb::new(InMemoryWebDb::new(relation()), profile, seed),
+            16,
+        );
+        let mut outcomes = Vec::new();
+        for q in &queries {
+            let first = cached.try_query(q);
+            if first.is_ok() {
+                assert_eq!(cached.try_query(q), first, "repeat must replay the page");
+            }
+            outcomes.push(first);
+        }
+        // flaky(seed=42) over four probes is fault-free here, so every
+        // repeat was a hit and the fate sequences line up exactly.
+        assert_eq!(outcomes, reference);
+        assert_eq!(cached.stats().cache_hits, 4);
+    }
+
+    #[test]
+    fn concurrent_misses_keep_the_meter_coherent() {
+        // Distinct queries from several threads: every probe is a miss,
+        // and a miss is counted before the source issue, so any stats
+        // snapshot (inner meter read first) obeys
+        // `queries_issued <= cache_misses`.
+        let db = CachedWebDb::new(InMemoryWebDb::new(relation()), 1024);
+        let mut handles = Vec::new();
+        for worker_id in 0..4u32 {
+            let worker = db.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250u32 {
+                    let p = f64::from(worker_id * 1000 + i) / 10.0;
+                    worker
+                        .try_query(&SelectionQuery::new(vec![price_ge(p)]))
+                        .unwrap();
+                }
+            }));
+        }
+        let reader = db.clone();
+        let checker = std::thread::spawn(move || {
+            for _ in 0..200 {
+                let s = reader.stats();
+                assert!(
+                    s.queries_issued <= s.cache_misses,
+                    "issue without a counted miss: {s:?}"
+                );
+            }
+        });
+        for h in handles {
+            h.join().unwrap();
+        }
+        checker.join().unwrap();
+        let s = db.stats();
+        assert_eq!(s.cache_misses, 1000);
+        assert_eq!(s.queries_issued, 1000);
+        assert_eq!(s.cache_hits, 0);
+    }
+
+    #[test]
+    fn clones_share_memo_and_counters() {
+        let db = CachedWebDb::new(InMemoryWebDb::new(relation()), 16);
+        let q = SelectionQuery::new(vec![make_eq("Toyota")]);
+        db.clone().try_query(&q).unwrap();
+        db.try_query(&q).unwrap();
+        assert_eq!(db.stats().cache_hits, 1);
+        assert_eq!(db.capacity(), 16);
+    }
+}

@@ -259,9 +259,8 @@ impl<D: WebDatabase> WebDatabase for FaultInjectingWebDb<D> {
             queries_issued: inner.queries_issued + state.injected_failures,
             tuples_returned: inner.tuples_returned.saturating_sub(state.clipped_tuples),
             failures: inner.failures + state.injected_failures,
-            retries: inner.retries,
             truncated_queries: inner.truncated_queries + state.injected_truncations,
-            breaker_trips: inner.breaker_trips,
+            ..inner
         }
     }
 

@@ -35,8 +35,13 @@
 //! profiles), and [`ResilientWebDb`] implements bounded retry with
 //! exponential backoff + jitter over a [`VirtualClock`], a
 //! consecutive-failure circuit breaker, and a per-session probe budget.
-//! See DESIGN.md, "Fault model & degradation semantics".
+//! A third decorator, [`CachedWebDb`], memoizes successful complete pages
+//! keyed on the canonicalized query, so repeated probes never touch the
+//! source (and never charge the probe budget — stack it outermost). See
+//! DESIGN.md, "Fault model & degradation semantics" and "Probe caching &
+//! dedup semantics".
 
+mod cache;
 mod column;
 mod csv;
 mod dictionary;
@@ -47,6 +52,7 @@ mod resilient;
 mod sampler;
 mod web;
 
+pub use cache::{CachedWebDb, DEFAULT_CACHE_CAPACITY};
 pub use column::{Column, NULL_CODE};
 pub use csv::{read_csv, write_csv, CsvError};
 pub use dictionary::Dictionary;

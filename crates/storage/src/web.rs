@@ -103,6 +103,13 @@ pub struct AccessStats {
     pub truncated_queries: u64,
     /// Times a circuit breaker transitioned closed → open.
     pub breaker_trips: u64,
+    /// Probes answered from a [`crate::CachedWebDb`] memo without touching
+    /// the source (not counted in [`AccessStats::queries_issued`]).
+    pub cache_hits: u64,
+    /// Probes that missed the cache and were forwarded to the source.
+    pub cache_misses: u64,
+    /// Cached pages evicted to respect the cache capacity bound.
+    pub cache_evictions: u64,
 }
 
 impl AccessStats {
@@ -119,6 +126,9 @@ impl AccessStats {
                 .truncated_queries
                 .saturating_sub(earlier.truncated_queries),
             breaker_trips: self.breaker_trips.saturating_sub(earlier.breaker_trips),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
         }
     }
 }
@@ -376,6 +386,26 @@ mod tests {
         let d = b.since(&a);
         assert_eq!(d.queries_issued, 0);
         assert_eq!(d.tuples_returned, 7);
+    }
+
+    #[test]
+    fn stats_delta_covers_cache_counters() {
+        let earlier = AccessStats {
+            cache_hits: 10,
+            cache_misses: 4,
+            cache_evictions: 2,
+            ..AccessStats::default()
+        };
+        let later = AccessStats {
+            cache_hits: 25,
+            cache_misses: 5,
+            cache_evictions: 1,
+            ..AccessStats::default()
+        };
+        let d = later.since(&earlier);
+        assert_eq!(d.cache_hits, 15);
+        assert_eq!(d.cache_misses, 1);
+        assert_eq!(d.cache_evictions, 0, "deltas saturate at zero");
     }
 
     #[test]

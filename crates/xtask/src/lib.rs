@@ -10,9 +10,12 @@
 //! - **L2 float-ordering safety**: similarity/importance scores are
 //!   compared with `f64::total_cmp`/`OrderedScore`, never the
 //!   NaN-unsafe `partial_cmp`.
-//! - **L3 mining determinism**: the mining/ranking crates (`afd`,
-//!   `sim`, `rock`) never iterate `HashMap`/`HashSet`, whose order
-//!   varies run to run.
+//! - **L3 mining determinism**: the mining/ranking/answering crates
+//!   (`afd`, `sim`, `rock`, `core`) never use `HashMap`/`HashSet`, whose
+//!   iteration order varies run to run. Insert-only membership sets that
+//!   are never iterated are safe but still flagged: each surviving use
+//!   carries an `aimq-lint: allow(hashmap)` justification recording the
+//!   audit.
 //!
 //! Diagnostics are rustc-style with file:line:col spans; per-line
 //! suppressions use `// aimq-lint: allow(<rule>) -- <justification>`
@@ -32,8 +35,11 @@ use std::path::{Path, PathBuf};
 pub const PANIC_CRATES: &[&str] = &["catalog", "storage", "afd", "sim", "rock", "core"];
 
 /// Crates whose outputs feed sorted/ranked results and therefore must
-/// not iterate hash containers.
-pub const DETERMINISM_CRATES: &[&str] = &["afd", "sim", "rock"];
+/// not iterate hash containers. `core` joined the list when the probe
+/// planner grew a `BTreeMap`-keyed memo: the engine's answers are
+/// replayable byte for byte, so any hash container it holds must be
+/// audited (and justified) as never-iterated.
+pub const DETERMINISM_CRATES: &[&str] = &["afd", "sim", "rock", "core"];
 
 /// A rendered-ready diagnostic bound to a file.
 #[derive(Debug, Clone)]

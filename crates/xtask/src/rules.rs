@@ -5,7 +5,7 @@
 //! | `panic` | error | six library crates | `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
 //! | `indexing` | warning | six library crates | direct `expr[...]` indexing/slicing |
 //! | `float-ordering` | error | six library crates | `.partial_cmp(` calls on scores |
-//! | `hashmap` | error | `afd`, `sim`, `rock` | any `HashMap`/`HashSet` use |
+//! | `hashmap` | error | `afd`, `sim`, `rock`, `core` | any `HashMap`/`HashSet` use |
 //!
 //! `indexing` is warn-level by default — mirroring clippy's
 //! allow-by-default `indexing_slicing` — because invariant-backed

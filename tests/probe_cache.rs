@@ -1,0 +1,215 @@
+//! End-to-end guarantees of the probe-economy layers (planner dedup +
+//! memoizing query cache):
+//!
+//! 1. the cache is *transparent* per engine call: a fresh
+//!    `Cached(Resilient(Fault(...)))` stack answers byte-identically to
+//!    the same stack without the cache, for every fault profile and
+//!    seed — same ranked answers (similarities bit-for-bit), same
+//!    `DegradationReport`;
+//! 2. on a clean source, a workload with repeated queries served
+//!    through a persistent cache returns byte-identical rankings to the
+//!    seed engine (no dedup, no cache) while issuing ≥ 40% fewer source
+//!    queries — the ISSUE 3 acceptance floor;
+//! 3. cache hits are free: they consume no probe budget and advance no
+//!    fault-schedule ordinal (asserted at the storage layer; here the
+//!    workload check pins the observable consequence — hit counters
+//!    grow while issue counters do not).
+
+use std::sync::OnceLock;
+
+use aimq_suite::catalog::ImpreciseQuery;
+use aimq_suite::data::CarDb;
+use aimq_suite::engine::{AimqSystem, AnswerSet, EngineConfig, TrainConfig};
+use aimq_suite::storage::{
+    CachedWebDb, FaultInjectingWebDb, FaultProfile, InMemoryWebDb, Relation, ResilientWebDb,
+    RetryPolicy, WebDatabase,
+};
+use proptest::prelude::*;
+
+struct Harness {
+    relation: Relation,
+    system: AimqSystem,
+    queries: Vec<ImpreciseQuery>,
+}
+
+fn harness() -> &'static Harness {
+    static H: OnceLock<Harness> = OnceLock::new();
+    H.get_or_init(|| {
+        let relation = CarDb::generate(1500, 17);
+        let sample = relation.random_sample(600, 5);
+        let system = AimqSystem::train(&sample, &TrainConfig::default()).unwrap();
+        let queries: Vec<ImpreciseQuery> = (0..5u32)
+            .map(|i| ImpreciseQuery::from_tuple(&relation.tuple(i * 97)).unwrap())
+            .collect();
+        Harness {
+            relation,
+            system,
+            queries,
+        }
+    })
+}
+
+fn config() -> EngineConfig {
+    EngineConfig {
+        t_sim: 0.5,
+        top_k: 10,
+        ..EngineConfig::default()
+    }
+}
+
+fn resilient_stack(
+    profile: FaultProfile,
+    fault_seed: u64,
+) -> ResilientWebDb<FaultInjectingWebDb<InMemoryWebDb>> {
+    ResilientWebDb::new(
+        FaultInjectingWebDb::new(
+            InMemoryWebDb::new(harness().relation.clone()),
+            profile,
+            fault_seed,
+        ),
+        RetryPolicy::default(),
+    )
+}
+
+/// Answer `q` through a fresh uncached stack (fault schedule restarts at
+/// ordinal zero).
+fn answer_plain(profile: FaultProfile, fault_seed: u64, q: &ImpreciseQuery) -> AnswerSet {
+    harness()
+        .system
+        .answer(&resilient_stack(profile, fault_seed), q, &config())
+}
+
+/// Answer `q` through the same fresh stack with the memoizing cache
+/// outermost.
+fn answer_cached(profile: FaultProfile, fault_seed: u64, q: &ImpreciseQuery) -> AnswerSet {
+    let db = CachedWebDb::with_default_capacity(resilient_stack(profile, fault_seed));
+    harness().system.answer(&db, q, &config())
+}
+
+/// Everything observable about a run, byte-exact (`f64` via `to_bits`).
+fn fingerprint(result: &AnswerSet) -> String {
+    let answers: Vec<String> = result
+        .answers
+        .iter()
+        .map(|a| format!("{:?}@{:016x}", a.tuple, a.similarity.to_bits()))
+        .collect();
+    format!("{:?} | {}", result.degradation, answers.join(";"))
+}
+
+/// Ranked answers only (tuples + similarity bits), without degradation.
+fn ranking(result: &AnswerSet) -> Vec<String> {
+    result
+        .answers
+        .iter()
+        .map(|a| format!("{:?}@{:016x}", a.tuple, a.similarity.to_bits()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Guarantee 1: per engine call, cache on vs cache off is
+    /// byte-identical — identical `AnswerSet` ranking and identical
+    /// `DegradationReport` — for every fault profile and fault seed.
+    #[test]
+    fn cache_is_transparent_per_call(
+        fault_seed in 0u64..=u64::MAX,
+        profile_idx in 0usize..3,
+        query_idx in 0usize..5,
+    ) {
+        let profile = [FaultProfile::none(), FaultProfile::flaky(), FaultProfile::hostile()]
+            [profile_idx];
+        let q = &harness().queries[query_idx];
+        let plain = answer_plain(profile, fault_seed, q);
+        let cached = answer_cached(profile, fault_seed, q);
+        prop_assert_eq!(fingerprint(&plain), fingerprint(&cached));
+    }
+}
+
+/// Guarantees 2 and 3: a repeated-query workload on a clean source,
+/// answered through one persistent cached stack, ranks byte-identically
+/// to the seed engine (dedup off, no cache) while issuing ≥ 40% fewer
+/// source queries, and the saving is visible in the cache meters.
+#[test]
+fn clean_workload_meets_the_reduction_floor_with_identical_rankings() {
+    let h = harness();
+    let seed_config = EngineConfig {
+        dedup_probes: false,
+        ..config()
+    };
+
+    // Seed engine over two passes of the query log.
+    let baseline_db = resilient_stack(FaultProfile::none(), 3);
+    let mut baseline_rankings = Vec::new();
+    for _pass in 0..2 {
+        for q in &h.queries {
+            baseline_rankings.push(ranking(&h.system.answer(&baseline_db, q, &seed_config)));
+        }
+    }
+    let baseline_issued = baseline_db.stats().queries_issued;
+
+    // Dedup + persistent cross-call cache over the same log.
+    let cached_db = CachedWebDb::with_default_capacity(resilient_stack(FaultProfile::none(), 3));
+    let mut cached_rankings = Vec::new();
+    for _pass in 0..2 {
+        for q in &h.queries {
+            cached_rankings.push(ranking(&h.system.answer(&cached_db, q, &config())));
+        }
+    }
+    let stats = cached_db.stats();
+
+    assert_eq!(
+        baseline_rankings, cached_rankings,
+        "cache+dedup changed a ranking on the clean source"
+    );
+    assert!(
+        stats.cache_hits > 0,
+        "the second pass must be served from memory: {stats:?}"
+    );
+    assert!(baseline_issued > 0, "workload issued nothing");
+    let reduction = 1.0 - stats.queries_issued as f64 / baseline_issued as f64;
+    assert!(
+        reduction >= 0.4,
+        "cache+dedup cut only {:.1}% of {} baseline probes (issued {})",
+        reduction * 100.0,
+        baseline_issued,
+        stats.queries_issued
+    );
+}
+
+/// The cached stack never *worsens* the probe bill, whatever the
+/// profile: over a repeated workload its source-issue count stays at or
+/// below the seed engine's at identical fault seeds.
+#[test]
+fn cached_stack_never_issues_more_than_the_seed_engine() {
+    let h = harness();
+    let seed_config = EngineConfig {
+        dedup_probes: false,
+        ..config()
+    };
+    for profile in [
+        FaultProfile::none(),
+        FaultProfile::flaky(),
+        FaultProfile::hostile(),
+    ] {
+        let baseline_db = resilient_stack(profile, 11);
+        for _pass in 0..2 {
+            for q in &h.queries {
+                h.system.answer(&baseline_db, q, &seed_config);
+            }
+        }
+        let baseline_issued = baseline_db.stats().queries_issued;
+
+        let cached_db = CachedWebDb::with_default_capacity(resilient_stack(profile, 11));
+        for _pass in 0..2 {
+            for q in &h.queries {
+                h.system.answer(&cached_db, q, &config());
+            }
+        }
+        let cached_issued = cached_db.stats().queries_issued;
+        assert!(
+            cached_issued <= baseline_issued,
+            "cache inflated the bill under {profile:?}: {cached_issued} > {baseline_issued}"
+        );
+    }
+}
