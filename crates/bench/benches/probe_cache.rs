@@ -7,9 +7,9 @@
 //! cross-call [`CachedWebDb`] warm.
 
 use aimq::{AimqSystem, EngineConfig, TrainConfig};
-use aimq_catalog::ImpreciseQuery;
+use aimq_catalog::{AttrId, ImpreciseQuery, Predicate, SelectionQuery, Value};
 use aimq_data::CarDb;
-use aimq_storage::{CachedWebDb, InMemoryWebDb};
+use aimq_storage::{CachedWebDb, InMemoryWebDb, WebDatabase};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -94,5 +94,41 @@ fn bench_warm_cache(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_planner_dedup, bench_warm_cache);
+/// The cache's key-derivation fast path in isolation: a lookup with an
+/// already-canonical query (the engine's probe-plan case, which borrows
+/// instead of cloning/sorting) against one whose predicates arrive
+/// permuted (the worst case, which must clone and sort). Guards the
+/// satellite claim that storing canonical probes in the plan made the
+/// per-lookup canonicalization free without regressing the slow path.
+fn bench_canonicalize_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_canonicalize");
+    group.sample_size(20);
+    let db = InMemoryWebDb::new(CarDb::generate(5_000, 7));
+    let cached = CachedWebDb::with_default_capacity(db);
+    let canonical = SelectionQuery::new(vec![
+        Predicate::eq(AttrId(0), Value::cat("Toyota")),
+        Predicate::eq(AttrId(1), Value::cat("Camry")),
+        Predicate::eq(AttrId(4), Value::cat("Black")),
+    ])
+    .canonicalize();
+    assert!(canonical.is_canonical());
+    let permuted = SelectionQuery::new(canonical.predicates().iter().rev().cloned().collect());
+    assert!(!permuted.is_canonical());
+    // Prime once; both benches below measure warm-hit lookups.
+    black_box(cached.try_query(&canonical).ok());
+    group.bench_function("hit_canonical_borrowed", |b| {
+        b.iter(|| black_box(cached.try_query(black_box(&canonical)).ok()));
+    });
+    group.bench_function("hit_permuted_cloned", |b| {
+        b.iter(|| black_box(cached.try_query(black_box(&permuted)).ok()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_planner_dedup,
+    bench_warm_cache,
+    bench_canonicalize_path
+);
 criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Runs the **serve bench** extension: a CarDB query log replayed
+//! through the concurrent serving runtime at 1/2/4/8 workers over a
+//! shared striped cache and a simulated source round-trip, reporting
+//! wall-clock throughput, speedup, and per-query identity against the
+//! single-threaded engine.
+use aimq_eval::{experiments::serve, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    aimq_bench::preamble("Serve bench: concurrent query-serving throughput", scale);
+    let result = serve::run(scale, 42);
+    println!("{}", result.render());
+    println!(
+        "speedup at 8 workers: {:.2}x  (identity: {})",
+        result.speedup(8),
+        if result.all_identical() {
+            "all rungs byte-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+}

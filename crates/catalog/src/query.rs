@@ -185,17 +185,49 @@ impl SelectionQuery {
         }
     }
 
+    /// `true` when the predicate list is already canonical — strictly
+    /// sorted by `(attr, op, value)` with no duplicates. The O(n)
+    /// pre-check lets callers that already hold a canonical form (the
+    /// engine's probe plan stores one per probe) skip the sort-and-dedup
+    /// in [`SelectionQuery::canonicalize`] and the clone in cache-key
+    /// derivation.
+    pub fn is_canonical(&self) -> bool {
+        self.predicates
+            .iter()
+            .zip(self.predicates.iter().skip(1))
+            .all(|(a, b)| a < b)
+    }
+
     /// Canonical form: predicates sorted by `(attr, op, value)` with exact
     /// duplicates removed. Conjunction is commutative and idempotent, so a
     /// query and its canonical form select exactly the same tuples; two
     /// queries with equal canonical forms are semantically interchangeable
     /// probes. Probe-dedup and the memoizing cache key on this form.
+    ///
+    /// Already-canonical queries take a sort-free fast path.
     #[must_use]
     pub fn canonicalize(&self) -> SelectionQuery {
+        if self.is_canonical() {
+            return self.clone();
+        }
         let mut predicates = self.predicates.clone();
         predicates.sort();
         predicates.dedup();
         SelectionQuery { predicates }
+    }
+
+    /// Deterministic 64-bit FNV-1a hash of the *canonical* form: stable
+    /// across processes and runs (unlike `std`'s per-process-seeded
+    /// `RandomState`), and equal for semantically interchangeable probes
+    /// regardless of predicate order or duplicate conjuncts. NaN payloads
+    /// and `-0.0` collapse the same way [`Value`]'s `Eq` does. Cache
+    /// stripe selection and keyed fault schedules are built on this.
+    pub fn stable_hash(&self) -> u64 {
+        if self.is_canonical() {
+            stable_hash_of(&self.predicates)
+        } else {
+            stable_hash_of(&self.canonicalize().predicates)
+        }
     }
 
     /// Validate every predicate against `schema`.
@@ -218,6 +250,44 @@ impl SelectionQuery {
             schema,
         }
     }
+}
+
+/// FNV-1a over a canonical predicate list. Values are encoded with a
+/// domain tag so `Cat("1")` and `Num(1.0)` cannot collide structurally.
+fn stable_hash_of(predicates: &[Predicate]) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    fn mix(mut hash: u64, bytes: &[u8]) -> u64 {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+        hash
+    }
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for p in predicates {
+        hash = mix(hash, &(p.attr.0 as u64).to_le_bytes());
+        let op = match p.op {
+            PredicateOp::Eq => 0u8,
+            PredicateOp::Lt => 1,
+            PredicateOp::Le => 2,
+            PredicateOp::Gt => 3,
+            PredicateOp::Ge => 4,
+        };
+        hash = mix(hash, &[op]);
+        match &p.value {
+            Value::Null => hash = mix(hash, &[0]),
+            Value::Num(n) => {
+                hash = mix(hash, &[1]);
+                hash = mix(hash, &crate::value::canonical_bits(*n).to_le_bytes());
+            }
+            Value::Cat(s) => {
+                hash = mix(hash, &[2]);
+                hash = mix(hash, &(s.len() as u64).to_le_bytes());
+                hash = mix(hash, s.as_bytes());
+            }
+        }
+    }
+    hash
 }
 
 /// Helper returned by [`SelectionQuery::display_with`].
@@ -577,6 +647,57 @@ mod tests {
         map.insert(q1.canonicalize(), 3); // same key, overwritten
         assert_eq!(map.len(), 2);
         assert_eq!(map[&q1.canonicalize()], 3);
+    }
+
+    #[test]
+    fn is_canonical_detects_sorted_deduped_lists() {
+        let a = Predicate::eq(AttrId(0), Value::cat("Toyota"));
+        let b = Predicate::eq(AttrId(1), Value::cat("Camry"));
+        assert!(SelectionQuery::all().is_canonical());
+        assert!(SelectionQuery::new(vec![a.clone()]).is_canonical());
+        assert!(SelectionQuery::new(vec![a.clone(), b.clone()]).is_canonical());
+        assert!(!SelectionQuery::new(vec![b.clone(), a.clone()]).is_canonical());
+        assert!(!SelectionQuery::new(vec![a.clone(), a.clone()]).is_canonical());
+        // The fast path returns the same value as the sort path.
+        let unsorted = SelectionQuery::new(vec![b.clone(), a.clone()]);
+        let canon = unsorted.canonicalize();
+        assert!(canon.is_canonical());
+        assert_eq!(canon.canonicalize(), canon);
+    }
+
+    #[test]
+    fn stable_hash_is_canonical_and_discriminating() {
+        let a = Predicate::eq(AttrId(0), Value::cat("Toyota"));
+        let b = Predicate::eq(AttrId(1), Value::cat("Camry"));
+        let c = Predicate {
+            attr: AttrId(3),
+            op: PredicateOp::Ge,
+            value: Value::num(5000.0),
+        };
+        // Permuted/duplicated conjuncts hash equal; different queries
+        // hash apart (structurally, with overwhelming probability).
+        let q1 = SelectionQuery::new(vec![c.clone(), a.clone(), b.clone(), a.clone()]);
+        let q2 = SelectionQuery::new(vec![b.clone(), c.clone(), a.clone()]);
+        assert_eq!(q1.stable_hash(), q2.stable_hash());
+        assert_eq!(q1.stable_hash(), q1.canonicalize().stable_hash());
+        assert_ne!(
+            SelectionQuery::new(vec![a.clone()]).stable_hash(),
+            SelectionQuery::new(vec![b]).stable_hash()
+        );
+        // Domain tags keep Cat("1") and Num(1) structurally distinct.
+        assert_ne!(
+            SelectionQuery::new(vec![Predicate::eq(AttrId(0), Value::cat("1"))]).stable_hash(),
+            SelectionQuery::new(vec![Predicate::eq(AttrId(0), Value::num(1.0))]).stable_hash()
+        );
+        // NaN payloads collapse exactly as canonicalization does.
+        let nan = |v: f64| {
+            SelectionQuery::new(vec![Predicate {
+                attr: AttrId(3),
+                op: PredicateOp::Lt,
+                value: Value::num(v),
+            }])
+        };
+        assert_eq!(nan(f64::NAN).stable_hash(), nan(-f64::NAN).stable_hash());
     }
 
     #[test]

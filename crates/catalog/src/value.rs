@@ -132,7 +132,7 @@ impl fmt::Display for Value {
 
 /// Canonicalize an `f64` for hashing/equality: collapse `-0.0` into `0.0`
 /// and all NaN payloads into one bit pattern.
-fn canonical_bits(n: f64) -> u64 {
+pub(crate) fn canonical_bits(n: f64) -> u64 {
     if n == 0.0 {
         0u64
     } else if n.is_nan() {

@@ -50,6 +50,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "describe" => describe(&args),
         "mine" => mine(&args),
         "query" => query(&args),
+        "serve-bench" => serve_bench(&args),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -70,7 +71,8 @@ fn print_help() {
          \x20 aimq query --csv FILE --schema SPEC --query \"Attr like V, ...\"\n\
          \x20            [--tsim X] [--k N] [--sample N] [--seed S] [--model MODEL]\n\
          \x20            [--faults none|flaky|hostile] [--fault-seed S]\n\
-         \x20            [--cache-capacity N] [--no-cache true]\n\n\
+         \x20            [--cache-capacity N] [--no-cache true]\n\
+         \x20 aimq serve-bench [--scale full|quick|N] [--seed S]\n\n\
          SPEC:  Name:cat,Name:num,...  (column order; CSV header must match)\n\
          QUERY: the paper's notation, e.g. \"Model like Camry, Price like 10000\"\n\
          FAULTS: inject a deterministic fault schedule into the source and\n\
@@ -78,9 +80,40 @@ fn print_help() {
          \x20       line reports what failed and how complete the answer is\n\
          CACHE: repeated probes are answered from a memoizing cache in\n\
          \x20      front of the source (default capacity {}); `--no-cache\n\
-         \x20      true` sends every probe to the source",
+         \x20      true` sends every probe to the source\n\
+         SERVE-BENCH: replay a CarDB query log through the concurrent\n\
+         \x20      serving runtime at 1/2/4/8 workers over a shared striped\n\
+         \x20      cache and a simulated source round-trip; reports\n\
+         \x20      throughput, speedup and per-query identity against the\n\
+         \x20      single-threaded engine",
         DEFAULT_CACHE_CAPACITY
     );
+}
+
+/// Run the concurrent-serving throughput ladder (the eval crate's
+/// `serve` experiment) and print its table.
+fn serve_bench(args: &Args) -> Result<(), String> {
+    use aimq_eval::{experiments::serve, Scale};
+    let scale = match args.required("scale").ok().as_deref() {
+        None | Some("full") => Scale::full(),
+        Some("quick") => Scale::quick(),
+        Some(raw) => raw
+            .parse::<usize>()
+            .map(Scale::with_divisor)
+            .map_err(|_| format!("flag --scale has invalid value `{raw}`"))?,
+    };
+    let seed = args.u64_or("seed", 42)?;
+    println!(
+        "serve bench (scale {scale}, seed {seed}); workers {:?}",
+        serve::WORKERS
+    );
+    let result = serve::run(scale, seed);
+    println!("{}", result.render());
+    if !result.all_identical() {
+        return Err("concurrent answers diverged from the single-threaded engine".to_owned());
+    }
+    println!("speedup at 8 workers: {:.2}x", result.speedup(8));
+    Ok(())
 }
 
 /// One-line summary of the memoizing cache's work during a query.
@@ -376,6 +409,22 @@ mod tests {
     fn unknown_command_is_an_error() {
         let err = run(&argv(&["frobnicate"])).unwrap_err();
         assert!(err.contains("frobnicate"));
+    }
+
+    #[test]
+    fn serve_bench_rejects_a_bad_scale() {
+        let err = run(&argv(&["serve-bench", "--scale", "tiny"])).unwrap_err();
+        assert!(err.contains("--scale"), "{err}");
+    }
+
+    #[test]
+    fn serve_bench_runs_at_a_heavy_divisor() {
+        // Divisor 2000 floors every size (50-tuple CarDB, 3 queries),
+        // so the whole 1/2/4/8 ladder runs in well under a second.
+        assert_eq!(
+            run(&argv(&["serve-bench", "--scale", "2000", "--seed", "5"])),
+            Ok(())
+        );
     }
 
     #[test]

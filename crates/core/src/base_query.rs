@@ -63,13 +63,17 @@ pub(crate) fn derive_base_set_memoized(
     memo: &mut ProbeMemo,
 ) -> (SelectionQuery, Vec<Tuple>) {
     let base = precise_query_for(model, query.bindings());
+    // Probe with the canonical form: the memo and any downstream cache
+    // key on it, and issuing it directly lets the cache borrow the key
+    // instead of re-canonicalizing (the forms select the same tuples).
+    let base_key = base.canonicalize();
     report.note_attempt();
-    match db.try_query(&base) {
+    match db.try_query(&base_key) {
         Ok(page) => {
             if page.truncated {
                 report.note_truncated();
             }
-            memo.record(base.canonicalize(), &page);
+            memo.record(base_key, &page);
             if !page.tuples.is_empty() {
                 return (base, page.tuples);
             }
@@ -89,13 +93,14 @@ pub(crate) fn derive_base_set_memoized(
         if relaxed.is_empty() {
             continue;
         }
+        let relaxed_key = relaxed.canonicalize();
         report.note_attempt();
-        match db.try_query(&relaxed) {
+        match db.try_query(&relaxed_key) {
             Ok(page) => {
                 if page.truncated {
                     report.note_truncated();
                 }
-                memo.record(relaxed.canonicalize(), &page);
+                memo.record(relaxed_key, &page);
                 if !page.tuples.is_empty() {
                     return (relaxed, page.tuples);
                 }

@@ -397,13 +397,20 @@ pub fn answer_imprecise_query(
             if relaxed.is_empty() {
                 continue;
             }
+            // The plan stores the canonical form next to the raw relaxed
+            // query: the memo keys on it AND the probe itself is issued
+            // in canonical form, so a downstream `CachedWebDb` derives
+            // its cache key by borrowing instead of re-sorting (see
+            // `SelectionQuery::is_canonical`). Canonicalization is
+            // semantics-preserving, so the source sees an equivalent
+            // query.
             let key = relaxed.canonicalize();
             let page = if let Some(page) = memo.replay(&key) {
                 degradation.probes_deduped += 1;
                 page
             } else {
                 degradation.note_attempt();
-                match db.try_query(&relaxed) {
+                match db.try_query(&key) {
                     Ok(page) => {
                         if page.truncated {
                             degradation.note_truncated();

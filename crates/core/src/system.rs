@@ -115,6 +115,7 @@ impl AimqSystem {
             .clone()
             .unwrap_or_else(|| BucketConfig::for_schema(&schema));
 
+        // aimq-lint: allow(wallclock) -- offline training timing (paper Table 2); never drives query-time decisions
         let t0 = Instant::now();
         let enc = EncodedRelation::encode(sample, &bucket);
         let mined = MinedDependencies::mine(&enc, &config.tane);
@@ -125,6 +126,7 @@ impl AimqSystem {
         };
         let dependency_mining = t0.elapsed();
 
+        // aimq-lint: allow(wallclock) -- offline training timing (paper Table 2); never drives query-time decisions
         let t1 = Instant::now();
         let sim_config = SimConfig { bucket };
         let model = if config.parallel_similarity {

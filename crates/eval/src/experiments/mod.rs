@@ -17,5 +17,6 @@ pub mod fig5;
 pub mod fig67;
 pub mod fig8;
 pub mod fig9;
+pub mod serve;
 pub mod table2;
 pub mod table3;

@@ -19,6 +19,7 @@
 //! | Importance-source ablation (extension) | — | [`experiments::ablation`] |
 //! | Fault matrix: degradation under source failures (extension) | — | [`experiments::faults`] |
 //! | Probe economy: dedup + cache vs the seed engine (extension) | — | [`experiments::cache`] |
+//! | Serve bench: concurrent serving throughput ladder (extension) | — | [`experiments::serve`] |
 //!
 //! Each runner is a pure function of a [`Scale`] (dataset sizes) and a
 //! seed, returns a typed result struct, and renders the same rows/series

@@ -75,10 +75,12 @@ impl RockModel {
         // Deterministic sample of rows for the exact clustering phase.
         let sample_rows: Vec<RowId> = sample_rows(n, config.sample_size, config.seed);
 
+        // aimq-lint: allow(wallclock) -- offline training stopwatch (RockTimings); never drives clustering
         let t0 = Instant::now();
         let links = compute_links(&points, &sample_rows, config.theta);
         let link_computation = t0.elapsed();
 
+        // aimq-lint: allow(wallclock) -- offline training stopwatch (RockTimings); never drives clustering
         let t1 = Instant::now();
         let clustering = cluster_greedy(
             &links,
@@ -101,6 +103,7 @@ impl RockModel {
         // N_i / (n_i + 1)^f(θ) where N_i is the number of neighbors the
         // row has inside cluster i (ROCK Section 3.4); rows with no
         // neighbors anywhere stay outliers.
+        // aimq-lint: allow(wallclock) -- offline training stopwatch (RockTimings); never drives clustering
         let t2 = Instant::now();
         let mut assignments: Vec<Option<u32>> = vec![None; n];
         for (cid, members) in clusters.iter().enumerate() {

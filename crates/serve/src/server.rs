@@ -1,0 +1,363 @@
+//! The worker pool: a [`QueryServer`] owns N threads, each running
+//! Algorithm 1 against a shared, immutable [`AimqSystem`] and a shared
+//! [`WebDatabase`] stack, fed from one bounded [`AdmissionQueue`].
+//!
+//! # Determinism under concurrency
+//!
+//! The knowledge base is immutable after training and the engine is
+//! stateless per call, so a query's *answers* are a pure function of
+//! `(system, db contents, query, engine config)` — worker count and
+//! interleaving change only throughput. The one shared mutable surface
+//! is the source stack (cache fills, access meters): cache state can
+//! change *which layer* serves a probe but never the page it returns
+//! (first-insertion-wins memoization of complete pages), and the meters
+//! are cross-query aggregates by design. Consequently the engine's
+//! per-answer `stats`/`retries` deltas are **not** comparable across
+//! concurrency levels — byte-identity checks must compare ranked
+//! answers, base query, and degradation probe counts, not meter deltas.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use aimq::{AimqSystem, AnswerSet, EngineConfig};
+use aimq_catalog::ImpreciseQuery;
+use aimq_storage::WebDatabase;
+
+use crate::queue::{AdmissionQueue, PushError};
+use crate::stats::{ServeStats, ServeStatsSnapshot};
+use crate::{DeadlineWebDb, ServeError};
+
+/// Serving knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (minimum 1).
+    pub workers: usize,
+    /// Admission-queue capacity; offered load beyond `workers +
+    /// queue_capacity` in flight is rejected as `Overloaded`.
+    pub queue_capacity: usize,
+    /// Per-query probe-tick budget; 0 disables deadlines.
+    pub deadline_ticks: u64,
+    /// Virtual ticks charged per probe (see [`DeadlineWebDb`]).
+    pub ticks_per_probe: u64,
+    /// Engine configuration shared by every worker.
+    pub engine: EngineConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            deadline_ticks: 0,
+            ticks_per_probe: 1,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// A successfully served query.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// The engine's full answer (top-k, base query, degradation).
+    pub answer: AnswerSet,
+    /// Probe cost in virtual ticks (the serving latency measure).
+    pub latency_ticks: u64,
+    /// Which worker served it (utilization attribution).
+    pub worker: usize,
+}
+
+/// Per-query result delivered through a [`Ticket`].
+pub type ServeResult = Result<ServeOutcome, ServeError>;
+
+struct Request {
+    query: ImpreciseQuery,
+    reply: mpsc::Sender<ServeResult>,
+}
+
+/// Handle to one admitted query; redeem with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<ServeResult>,
+}
+
+impl Ticket {
+    /// Block until the query is served (or the server shuts down with
+    /// the request still queued, which yields `ShuttingDown`).
+    pub fn wait(self) -> ServeResult {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+}
+
+/// A running pool of query workers. Dropping without
+/// [`QueryServer::shutdown`] also joins the workers (graceful drain).
+pub struct QueryServer {
+    queue: Arc<AdmissionQueue<Request>>,
+    stats: Arc<ServeStats>,
+    in_flight_limit: usize,
+    in_queue_or_flight: Arc<AtomicU64>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryServer {
+    /// Start `config.workers` threads serving queries against the
+    /// shared `system` and `db`. Both are `Arc`s: the knowledge base is
+    /// immutable, and the source stack must be safe for concurrent
+    /// probing (every decorator in `aimq-storage` is).
+    pub fn start(
+        system: Arc<AimqSystem>,
+        db: Arc<dyn WebDatabase>,
+        config: ServeConfig,
+    ) -> QueryServer {
+        let workers = config.workers.max(1);
+        let queue = Arc::new(AdmissionQueue::new(config.queue_capacity.max(1)));
+        let stats = Arc::new(ServeStats::new(workers));
+        let in_queue_or_flight = Arc::new(AtomicU64::new(0));
+        let handles = (0..workers)
+            .map(|worker_id| {
+                let system = Arc::clone(&system);
+                let db = Arc::clone(&db);
+                let queue = Arc::clone(&queue);
+                let stats = Arc::clone(&stats);
+                let in_flight = Arc::clone(&in_queue_or_flight);
+                let config = config.clone();
+                std::thread::spawn(move || {
+                    while let Some(request) = queue.pop() {
+                        serve_one(&system, &*db, &config, &stats, worker_id, request);
+                        in_flight.fetch_sub(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        QueryServer {
+            queue,
+            stats,
+            // Backpressure bound: admitted work is either queued or on a
+            // worker; beyond queue + workers there is nowhere for it to
+            // go but a growing backlog, so it is rejected instead.
+            in_flight_limit: config.queue_capacity.max(1) + workers,
+            in_queue_or_flight,
+            workers: handles,
+        }
+    }
+
+    /// Offer a query. Admitted queries return a [`Ticket`]; when the
+    /// backlog (queued + in service) is at capacity the query is
+    /// rejected with [`ServeError::Overloaded`] — backpressure is a
+    /// typed refusal, never an unbounded buffer or a silent drop.
+    pub fn submit(&self, query: ImpreciseQuery) -> Result<Ticket, ServeError> {
+        self.stats.note_submitted();
+        // Reserve a backlog slot first; the queue's own capacity check
+        // alone would let `workers` extra requests slip in while their
+        // predecessors occupy the workers.
+        let occupied = self.in_queue_or_flight.fetch_add(1, Ordering::Relaxed);
+        if occupied >= self.in_flight_limit as u64 {
+            self.in_queue_or_flight.fetch_sub(1, Ordering::Relaxed);
+            self.stats.note_rejected();
+            return Err(ServeError::Overloaded);
+        }
+        let (tx, rx) = mpsc::channel();
+        match self.queue.try_push(Request { query, reply: tx }) {
+            Ok(depth) => {
+                self.stats.note_admitted(depth);
+                Ok(Ticket { rx })
+            }
+            Err(PushError::Overloaded(_)) => {
+                self.in_queue_or_flight.fetch_sub(1, Ordering::Relaxed);
+                self.stats.note_rejected();
+                Err(ServeError::Overloaded)
+            }
+            Err(PushError::Closed(_)) => {
+                self.in_queue_or_flight.fetch_sub(1, Ordering::Relaxed);
+                self.stats.note_rejected();
+                Err(ServeError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Serving counters so far.
+    pub fn stats(&self) -> ServeStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Stop admitting, drain the queue, join every worker, and return
+    /// the final counters. Admitted queries are all served.
+    pub fn shutdown(mut self) -> ServeStatsSnapshot {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            // A worker that panicked already delivered `ShuttingDown`
+            // to its waiters via the dropped channel; joining the rest
+            // matters more than propagating the panic payload.
+            let _ = handle.join();
+        }
+        self.stats.snapshot()
+    }
+}
+
+impl Drop for QueryServer {
+    fn drop(&mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn serve_one(
+    system: &AimqSystem,
+    db: &dyn WebDatabase,
+    config: &ServeConfig,
+    stats: &ServeStats,
+    worker: usize,
+    request: Request,
+) {
+    let deadline_db = DeadlineWebDb::new(db, config.deadline_ticks, config.ticks_per_probe);
+    let answer = system.answer(&deadline_db, &request.query, &config.engine);
+    let latency_ticks = deadline_db.elapsed_ticks();
+    let missed = deadline_db.deadline_missed();
+    stats.note_served(worker, latency_ticks, missed);
+    let result = if missed {
+        // The engine already degraded gracefully on the deadline's
+        // `Unavailable`: the partial answer set and its report ride
+        // along in the typed error.
+        Err(ServeError::DeadlineExceeded {
+            partial: Box::new(answer),
+        })
+    } else {
+        Ok(ServeOutcome {
+            answer,
+            latency_ticks,
+            worker,
+        })
+    };
+    // A dropped ticket (caller gave up) is not an error for the server.
+    let _ = request.reply.send(result);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimq::TrainConfig;
+    use aimq_catalog::Value;
+    use aimq_data::CarDb;
+    use aimq_storage::{CachedWebDb, InMemoryWebDb};
+
+    fn system_and_db() -> (Arc<AimqSystem>, Arc<dyn WebDatabase>, Vec<ImpreciseQuery>) {
+        let db = InMemoryWebDb::new(CarDb::generate(600, 7));
+        let sample = db.relation().random_sample(200, 1);
+        let system = AimqSystem::train(&sample, &TrainConfig::default()).unwrap();
+        let schema = db.schema().clone();
+        let queries = ["Camry", "Accord", "Civic", "Corolla"]
+            .iter()
+            .map(|m| {
+                ImpreciseQuery::builder(&schema)
+                    .like("Model", Value::cat(*m))
+                    .unwrap()
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let shared: Arc<dyn WebDatabase> = Arc::new(CachedWebDb::with_stripes(db, 1024, 8));
+        (Arc::new(system), shared, queries)
+    }
+
+    #[test]
+    fn concurrent_answers_match_the_single_threaded_engine() {
+        let (system, db, queries) = system_and_db();
+        // Reference: the plain engine on a cold, separate stack.
+        let reference: Vec<AnswerSet> = {
+            let cold = InMemoryWebDb::new(CarDb::generate(600, 7));
+            queries
+                .iter()
+                .map(|q| system.answer(&cold, q, &EngineConfig::default()))
+                .collect()
+        };
+
+        let server = QueryServer::start(
+            Arc::clone(&system),
+            db,
+            ServeConfig {
+                workers: 4,
+                queue_capacity: 16,
+                ..ServeConfig::default()
+            },
+        );
+        let tickets: Vec<Ticket> = queries
+            .iter()
+            .map(|q| server.submit(q.clone()).expect("admitted"))
+            .collect();
+        for (ticket, expected) in tickets.into_iter().zip(&reference) {
+            let got = ticket.wait().expect("served").answer;
+            assert_eq!(got.answers.len(), expected.answers.len());
+            for (g, e) in got.answers.iter().zip(&expected.answers) {
+                assert_eq!(g.tuple, e.tuple);
+                assert_eq!(g.similarity.to_bits(), e.similarity.to_bits());
+            }
+            assert_eq!(got.base_query, expected.base_query);
+        }
+        let final_stats = server.shutdown();
+        assert_eq!(final_stats.admitted, 4);
+        assert_eq!(final_stats.completed, 4);
+        assert_eq!(final_stats.rejected, 0);
+        assert_eq!(
+            final_stats.worker_processed.iter().sum::<u64>(),
+            4,
+            "{final_stats:#?}"
+        );
+    }
+
+    #[test]
+    fn tight_deadline_returns_typed_error_with_partial_report() {
+        let (system, db, queries) = system_and_db();
+        let server = QueryServer::start(
+            system,
+            db,
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 4,
+                deadline_ticks: 1, // one probe, then the axe
+                ticks_per_probe: 1,
+                ..ServeConfig::default()
+            },
+        );
+        let q = queries.first().expect("queries").clone();
+        let outcome = server.submit(q).expect("admitted").wait();
+        match outcome {
+            Err(ServeError::DeadlineExceeded { partial }) => {
+                assert!(
+                    partial.degradation.source_lost || partial.degradation.probes_skipped > 0,
+                    "deadline must surface as degradation: {:#?}",
+                    partial.degradation
+                );
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let final_stats = server.shutdown();
+        assert_eq!(final_stats.deadline_missed, 1);
+        assert_eq!(final_stats.completed, 0);
+    }
+
+    #[test]
+    fn shutdown_serves_everything_admitted() {
+        let (system, db, queries) = system_and_db();
+        let server = QueryServer::start(
+            system,
+            db,
+            ServeConfig {
+                workers: 2,
+                queue_capacity: 32,
+                ..ServeConfig::default()
+            },
+        );
+        let tickets: Vec<Ticket> = (0..12)
+            .filter_map(|i| queries.get(i % queries.len()))
+            .map(|q| server.submit(q.clone()).expect("admitted"))
+            .collect();
+        let final_stats = server.shutdown();
+        assert_eq!(final_stats.admitted, 12);
+        assert_eq!(final_stats.completed + final_stats.deadline_missed, 12);
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+    }
+}

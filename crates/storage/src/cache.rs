@@ -9,9 +9,15 @@ use crate::web::{lock_stats, AccessStats, QueryError, QueryPage, WebDatabase};
 /// no better number; the CLI default).
 pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
-/// Everything the cache protects under one lock: the memo itself, the
-/// FIFO admission order, and the hit/miss/eviction counters (so a stats
-/// overlay is internally consistent).
+/// Default stripe count for [`CachedWebDb::new`]: one stripe, i.e. the
+/// exact single-lock semantics the decorator shipped with. The serving
+/// runtime raises this via [`CachedWebDb::with_stripes`] so its worker
+/// pool does not serialize on one memo lock.
+pub const DEFAULT_CACHE_STRIPES: usize = 1;
+
+/// Everything one cache stripe protects under its lock: a shard of the
+/// memo, that shard's FIFO admission order, and its hit/miss/eviction
+/// counters (so a stats overlay is internally consistent per stripe).
 #[derive(Debug, Default)]
 struct CacheState {
     /// Memoized pages, keyed on the *canonical* query form. `BTreeMap`
@@ -66,28 +72,59 @@ struct CacheState {
 /// inner meter; [`WebDatabase::reset_stats`] clears the counters but keeps
 /// the memo (use [`CachedWebDb::clear`] to drop memoized pages).
 ///
+/// The memo is *lock-striped*: keys are sharded over `stripes`
+/// independent locks by [`SelectionQuery::stable_hash`] (a deterministic
+/// FNV over the canonical form — `std`'s per-process-seeded `RandomState`
+/// would make shard assignment unreproducible), so concurrent workers
+/// probing different queries rarely contend. [`CachedWebDb::new`] keeps
+/// the historical single-stripe behaviour; the serving runtime uses
+/// [`CachedWebDb::with_stripes`]. With `s` stripes the capacity bound is
+/// enforced per stripe at `ceil(capacity / s)` pages, so the total held
+/// never exceeds `capacity + s - 1`.
+///
 /// Cloning shares the memo and the counters.
 #[derive(Debug, Clone)]
 pub struct CachedWebDb<D> {
     inner: D,
     capacity: usize,
-    state: Arc<Mutex<CacheState>>,
+    /// Capacity bound each stripe enforces locally.
+    stripe_capacity: usize,
+    /// At least one stripe, always.
+    stripes: Arc<Vec<Mutex<CacheState>>>,
 }
 
 impl<D: WebDatabase> CachedWebDb<D> {
-    /// Wrap `inner` with a memo of at most `capacity` pages.
+    /// Wrap `inner` with a memo of at most `capacity` pages behind a
+    /// single lock (see [`DEFAULT_CACHE_STRIPES`]).
     pub fn new(inner: D, capacity: usize) -> Self {
-        CachedWebDb {
-            inner,
-            capacity,
-            state: Arc::new(Mutex::new(CacheState::default())),
-        }
+        Self::with_stripes(inner, capacity, DEFAULT_CACHE_STRIPES)
     }
 
     /// Wrap `inner` with the default capacity
     /// ([`DEFAULT_CACHE_CAPACITY`]).
     pub fn with_default_capacity(inner: D) -> Self {
         Self::new(inner, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Wrap `inner` with `capacity` total pages sharded over `stripes`
+    /// locks (`stripes` is clamped to at least one).
+    pub fn with_stripes(inner: D, capacity: usize, stripes: usize) -> Self {
+        let stripes = stripes.max(1);
+        let stripe_capacity = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(stripes)
+        };
+        CachedWebDb {
+            inner,
+            capacity,
+            stripe_capacity,
+            stripes: Arc::new(
+                (0..stripes)
+                    .map(|_| Mutex::new(CacheState::default()))
+                    .collect(),
+            ),
+        }
     }
 
     /// The wrapped database.
@@ -100,9 +137,23 @@ impl<D: WebDatabase> CachedWebDb<D> {
         self.capacity
     }
 
-    /// Number of pages currently memoized.
+    /// Number of lock stripes sharding the memo.
+    pub fn stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// The stripe responsible for a canonical `key`. Returns `None` only
+    /// if the stripe vector were empty, which construction forbids;
+    /// callers treat that as "cache disabled" rather than panicking.
+    fn stripe_for(&self, key: &SelectionQuery) -> Option<&Mutex<CacheState>> {
+        let n = self.stripes.len() as u64;
+        let idx = (key.stable_hash() % n.max(1)) as usize;
+        self.stripes.get(idx).or_else(|| self.stripes.first())
+    }
+
+    /// Number of pages currently memoized, summed over stripes.
     pub fn len(&self) -> usize {
-        lock_stats(&self.state).pages.len()
+        self.stripes.iter().map(|s| lock_stats(s).pages.len()).sum()
     }
 
     /// `true` when nothing is memoized.
@@ -113,9 +164,11 @@ impl<D: WebDatabase> CachedWebDb<D> {
     /// Drop every memoized page (counters are untouched; eviction is not
     /// counted — nothing was displaced by an admission).
     pub fn clear(&self) {
-        let mut state = lock_stats(&self.state);
-        state.pages.clear();
-        state.order.clear();
+        for stripe in self.stripes.iter() {
+            let mut state = lock_stats(stripe);
+            state.pages.clear();
+            state.order.clear();
+        }
     }
 }
 
@@ -125,10 +178,22 @@ impl<D: WebDatabase> WebDatabase for CachedWebDb<D> {
     }
 
     fn try_query(&self, query: &SelectionQuery) -> Result<QueryPage, QueryError> {
-        let key = query.canonicalize();
+        // Key derivation borrows the query when it is already canonical —
+        // the engine's probe plan stores canonical probes, so the common
+        // path neither sorts nor clones here.
+        let canonicalized;
+        let key: &SelectionQuery = if query.is_canonical() {
+            query
+        } else {
+            canonicalized = query.canonicalize();
+            &canonicalized
+        };
+        let Some(stripe) = self.stripe_for(key) else {
+            return self.inner.try_query(query);
+        };
         {
-            let mut state = lock_stats(&self.state);
-            if let Some(page) = state.pages.get(&key) {
+            let mut state = lock_stats(stripe);
+            if let Some(page) = state.pages.get(key) {
                 let page = page.clone();
                 state.hits += 1;
                 return Ok(page);
@@ -139,14 +204,14 @@ impl<D: WebDatabase> WebDatabase for CachedWebDb<D> {
         // virtual time retrying/backing off, and concurrent probes for
         // *other* queries must not serialize behind it.
         let page = self.inner.try_query(query)?;
-        if !page.truncated && self.capacity > 0 {
-            let mut state = lock_stats(&self.state);
+        if !page.truncated && self.stripe_capacity > 0 {
+            let mut state = lock_stats(stripe);
             // A concurrent miss for the same query may have raced us here;
             // first insertion wins so `order` never holds a duplicate key.
-            if !state.pages.contains_key(&key) {
+            if !state.pages.contains_key(key) {
                 state.order.push_back(key.clone());
-                state.pages.insert(key, page.clone());
-                while state.pages.len() > self.capacity {
+                state.pages.insert(key.clone(), page.clone());
+                while state.pages.len() > self.stripe_capacity {
                     match state.order.pop_front() {
                         Some(oldest) => {
                             state.pages.remove(&oldest);
@@ -161,22 +226,33 @@ impl<D: WebDatabase> WebDatabase for CachedWebDb<D> {
     }
 
     fn stats(&self) -> AccessStats {
+        // Read the inner meter first: every source issue was preceded by
+        // a counted miss, so summing stripe counters afterwards keeps the
+        // `queries_issued <= cache_misses` invariant in every snapshot.
         let inner = self.inner.stats();
-        let state = lock_stats(&self.state);
+        let (mut hits, mut misses, mut evictions) = (0, 0, 0);
+        for stripe in self.stripes.iter() {
+            let state = lock_stats(stripe);
+            hits += state.hits;
+            misses += state.misses;
+            evictions += state.evictions;
+        }
         AccessStats {
-            cache_hits: inner.cache_hits + state.hits,
-            cache_misses: inner.cache_misses + state.misses,
-            cache_evictions: inner.cache_evictions + state.evictions,
+            cache_hits: inner.cache_hits + hits,
+            cache_misses: inner.cache_misses + misses,
+            cache_evictions: inner.cache_evictions + evictions,
             ..inner
         }
     }
 
     fn reset_stats(&self) {
         self.inner.reset_stats();
-        let mut state = lock_stats(&self.state);
-        state.hits = 0;
-        state.misses = 0;
-        state.evictions = 0;
+        for stripe in self.stripes.iter() {
+            let mut state = lock_stats(stripe);
+            state.hits = 0;
+            state.misses = 0;
+            state.evictions = 0;
+        }
     }
 }
 
@@ -445,6 +521,73 @@ mod tests {
         assert_eq!(s.cache_misses, 1000);
         assert_eq!(s.queries_issued, 1000);
         assert_eq!(s.cache_hits, 0);
+    }
+
+    #[test]
+    fn default_constructor_keeps_single_stripe_semantics() {
+        let db = CachedWebDb::new(InMemoryWebDb::new(relation()), 16);
+        assert_eq!(db.stripes(), DEFAULT_CACHE_STRIPES);
+        assert_eq!(db.stripes(), 1);
+    }
+
+    #[test]
+    fn striped_cache_keys_canonically_and_replays_pages() {
+        let db = CachedWebDb::with_stripes(InMemoryWebDb::new(relation()), 64, 8);
+        assert_eq!(db.stripes(), 8);
+        let a = SelectionQuery::new(vec![make_eq("Toyota"), price_ge(8000.0)]);
+        let b = SelectionQuery::new(vec![price_ge(8000.0), make_eq("Toyota"), make_eq("Toyota")]);
+        let pa = db.try_query(&a).unwrap();
+        let pb = db.try_query(&b).unwrap();
+        assert_eq!(pa, pb);
+        assert_eq!(db.stats().cache_hits, 1, "stripe choice must be canonical");
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn striped_concurrent_replay_hits_across_threads() {
+        // Fill from one thread, then replay the same workload from many:
+        // every stripe must serve its keys to every worker.
+        let db = CachedWebDb::with_stripes(InMemoryWebDb::new(relation()), 1024, 8);
+        let queries: Vec<SelectionQuery> = (0..40)
+            .map(|i| SelectionQuery::new(vec![price_ge(f64::from(i) * 250.0)]))
+            .collect();
+        for q in &queries {
+            db.try_query(q).unwrap();
+        }
+        let issued_after_fill = db.stats().queries_issued;
+        assert_eq!(issued_after_fill, 40);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let worker = db.clone();
+            let queries = queries.clone();
+            handles.push(std::thread::spawn(move || {
+                for q in &queries {
+                    worker.try_query(q).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = db.stats();
+        assert_eq!(s.queries_issued, 40, "replays must all hit the memo");
+        assert_eq!(s.cache_hits, 4 * 40);
+    }
+
+    #[test]
+    fn striped_capacity_is_enforced_per_stripe() {
+        // 8 keys through 4 stripes with a total capacity of 4: each
+        // stripe holds at most ceil(4/4) = 1 page, so the cache holds at
+        // most one page per stripe regardless of key skew.
+        let db = CachedWebDb::with_stripes(InMemoryWebDb::new(relation()), 4, 4);
+        for i in 0..8 {
+            db.try_query(&SelectionQuery::new(vec![price_ge(f64::from(i) * 500.0)]))
+                .unwrap();
+        }
+        assert!(db.len() <= 4, "len {} exceeds stripe bound", db.len());
+        let s = db.stats();
+        assert_eq!(s.cache_misses, 8);
+        assert_eq!(s.cache_evictions as usize + db.len(), 8);
     }
 
     #[test]

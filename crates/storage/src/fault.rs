@@ -128,6 +128,26 @@ impl FaultProfile {
     }
 }
 
+/// How a [`FaultInjectingWebDb`] assigns fates to queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultMode {
+    /// The historical contract: fate is a pure function of
+    /// `(seed, query ordinal)` — every call consumes one schedule
+    /// position, so retries see fresh draws and converge.
+    Sequenced,
+    /// Fate is a pure function of `(seed, canonical query)` via
+    /// [`SelectionQuery::stable_hash`]: the same probe meets the same
+    /// fate at any position, from any thread, in any interleaving. This
+    /// is the mode concurrent-replay tests use — serial and shuffled
+    /// multi-threaded replays of a query log observe identical per-query
+    /// outcomes. Ordinal-based rate-limit windows are *inactive* in this
+    /// mode (a burst window is inherently a property of the call
+    /// sequence, which keyed scheduling deliberately ignores), and a
+    /// retry of a failed query redraws the same fate, so pair keyed
+    /// injection with a cache rather than a retry layer.
+    Keyed,
+}
+
 /// Mutable schedule state, behind one mutex so clones share the stream.
 #[derive(Debug)]
 struct FaultState {
@@ -152,6 +172,8 @@ struct FaultState {
 pub struct FaultInjectingWebDb<D> {
     inner: D,
     profile: FaultProfile,
+    seed: u64,
+    mode: FaultMode,
     state: Arc<Mutex<FaultState>>,
 }
 
@@ -159,9 +181,26 @@ impl<D: WebDatabase> FaultInjectingWebDb<D> {
     /// Decorate `inner` with faults drawn from `profile`, scheduled by
     /// `seed`.
     pub fn new(inner: D, profile: FaultProfile, seed: u64) -> Self {
+        Self::with_mode(inner, profile, seed, FaultMode::Sequenced)
+    }
+
+    /// Decorate `inner` with *keyed* faults: each query's fate is a pure
+    /// function of `(seed, canonical query)`, independent of call order
+    /// and thread interleaving. Concurrent replays of a query log
+    /// therefore observe exactly the per-query outcomes of a serial
+    /// replay. Ordinal-based rate-limit windows in `profile` are ignored
+    /// in this mode, and retries redraw the same fate — see the caveats
+    /// on the mode itself.
+    pub fn keyed(inner: D, profile: FaultProfile, seed: u64) -> Self {
+        Self::with_mode(inner, profile, seed, FaultMode::Keyed)
+    }
+
+    fn with_mode(inner: D, profile: FaultProfile, seed: u64, mode: FaultMode) -> Self {
         FaultInjectingWebDb {
             inner,
             profile,
+            seed,
+            mode,
             state: Arc::new(Mutex::new(FaultState {
                 rng: StdRng::seed_from_u64(seed),
                 calls: 0,
@@ -177,6 +216,12 @@ impl<D: WebDatabase> FaultInjectingWebDb<D> {
         &self.profile
     }
 
+    /// `true` when fates are keyed on the query rather than sequenced by
+    /// call ordinal.
+    pub fn is_keyed(&self) -> bool {
+        self.mode == FaultMode::Keyed
+    }
+
     /// Borrow the decorated database.
     pub fn inner(&self) -> &D {
         &self.inner
@@ -184,25 +229,41 @@ impl<D: WebDatabase> FaultInjectingWebDb<D> {
 
     /// Decide the fate of the next query. Returns `Ok(clip)` where `clip`
     /// is an optional page cap, or the injected error.
-    fn schedule_next(&self) -> Result<Option<usize>, QueryError> {
+    fn schedule_next(&self, query: &SelectionQuery) -> Result<Option<usize>, QueryError> {
         let mut state = lock_stats(&self.state);
+        // Reborrow so the scheduler RNG and the meters can be borrowed
+        // field-by-field below.
+        let state = &mut *state;
         let ordinal = state.calls;
         state.calls += 1;
 
-        if let Some(window) = self.profile.rate_limit {
-            let cycle = window.period + window.burst;
-            if window.burst > 0 && cycle > 0 && ordinal % cycle >= window.period {
-                state.injected_failures += 1;
-                return Err(QueryError::RateLimited {
-                    retry_after: window.retry_after,
-                });
+        if self.mode == FaultMode::Sequenced {
+            if let Some(window) = self.profile.rate_limit {
+                let cycle = window.period + window.burst;
+                if window.burst > 0 && cycle > 0 && ordinal % cycle >= window.period {
+                    state.injected_failures += 1;
+                    return Err(QueryError::RateLimited {
+                        retry_after: window.retry_after,
+                    });
+                }
             }
         }
 
         // One uniform draw decides the probabilistic channels; a second
         // (drawn only on success) decides truncation. Keeping the draw
-        // count fixed per outcome keeps the schedule replayable.
-        let u: f64 = state.rng.random();
+        // count fixed per outcome keeps the schedule replayable. In
+        // keyed mode the draws come from a throwaway RNG seeded from the
+        // query, not from the shared stream — the shared stream is not
+        // advanced at all, so sequenced clones are unaffected.
+        let mut keyed_rng;
+        let rng: &mut StdRng = match self.mode {
+            FaultMode::Sequenced => &mut state.rng,
+            FaultMode::Keyed => {
+                keyed_rng = StdRng::seed_from_u64(self.seed ^ query.stable_hash());
+                &mut keyed_rng
+            }
+        };
+        let u: f64 = rng.random();
         let mut edge = self.profile.unavailable_probability;
         if u < edge {
             state.injected_failures += 1;
@@ -220,7 +281,7 @@ impl<D: WebDatabase> FaultInjectingWebDb<D> {
         }
 
         if let Some(policy) = self.profile.truncation {
-            let v: f64 = state.rng.random();
+            let v: f64 = rng.random();
             if v < policy.probability {
                 return Ok(Some(policy.max_tuples));
             }
@@ -235,7 +296,7 @@ impl<D: WebDatabase> WebDatabase for FaultInjectingWebDb<D> {
     }
 
     fn try_query(&self, query: &SelectionQuery) -> Result<QueryPage, QueryError> {
-        let clip = self.schedule_next()?;
+        let clip = self.schedule_next(query)?;
         let mut page = self.inner.try_query(query)?;
         if let Some(max_tuples) = clip {
             if page.tuples.len() > max_tuples {
@@ -396,6 +457,70 @@ mod tests {
             Some(FaultProfile::hostile())
         );
         assert_eq!(FaultProfile::by_name("bogus"), None);
+    }
+
+    #[test]
+    fn keyed_mode_gives_each_query_an_order_independent_fate() {
+        let queries: Vec<SelectionQuery> = (0..60)
+            .map(|i| {
+                SelectionQuery::new(vec![aimq_catalog::Predicate {
+                    attr: aimq_catalog::AttrId(1),
+                    op: aimq_catalog::PredicateOp::Ge,
+                    value: Value::num(100.0 * f64::from(i)),
+                }])
+            })
+            .collect();
+        let fate =
+            |db: &FaultInjectingWebDb<InMemoryWebDb>, q: &SelectionQuery| match db.try_query(q) {
+                Ok(page) => format!("ok({}, trunc={})", page.tuples.len(), page.truncated),
+                Err(e) => format!("err({e:?})"),
+            };
+        let profile = FaultProfile {
+            transient_probability: 0.3,
+            truncation: Some(TruncationPolicy {
+                probability: 0.3,
+                max_tuples: 2,
+            }),
+            ..FaultProfile::none()
+        };
+        let forward = FaultInjectingWebDb::keyed(base_db(), profile, 9);
+        assert!(forward.is_keyed());
+        let forward_fates: Vec<String> = queries.iter().map(|q| fate(&forward, q)).collect();
+        // Same queries in reverse order, interleaved with repeats: every
+        // query still meets exactly its own fate.
+        let reverse = FaultInjectingWebDb::keyed(base_db(), profile, 9);
+        for (q, expected) in queries.iter().zip(&forward_fates).rev() {
+            assert_eq!(&fate(&reverse, q), expected);
+            assert_eq!(&fate(&reverse, q), expected, "repeat redraws same fate");
+        }
+        // The keyed schedule actually injects something at 30%/30%.
+        assert!(forward_fates.iter().any(|f| f.starts_with("err")));
+        assert!(forward_fates.iter().any(|f| f.contains("trunc=true")));
+        // A canonically equal but syntactically permuted query shares
+        // the fate (fate keys on the canonical form).
+        let dup = SelectionQuery::new(
+            queries[3]
+                .predicates()
+                .iter()
+                .chain(queries[3].predicates())
+                .cloned()
+                .collect(),
+        );
+        assert_eq!(fate(&reverse, &dup), forward_fates[3]);
+        // Different seeds re-deal the fates.
+        let reseeded = FaultInjectingWebDb::keyed(base_db(), profile, 10);
+        let reseeded_fates: Vec<String> = queries.iter().map(|q| fate(&reseeded, q)).collect();
+        assert_ne!(reseeded_fates, forward_fates);
+    }
+
+    #[test]
+    fn keyed_mode_disables_rate_limit_windows() {
+        // `hostile` carries an ordinal-based burst window; keyed mode
+        // must never emit RateLimited (fates ignore call order).
+        let db = FaultInjectingWebDb::keyed(base_db(), FaultProfile::hostile(), 42);
+        for o in outcomes(&db, 200) {
+            assert!(!o.starts_with("err(RateLimited"), "{o}");
+        }
     }
 
     #[test]

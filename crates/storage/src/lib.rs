@@ -52,7 +52,7 @@ mod resilient;
 mod sampler;
 mod web;
 
-pub use cache::{CachedWebDb, DEFAULT_CACHE_CAPACITY};
+pub use cache::{CachedWebDb, DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_STRIPES};
 pub use column::{Column, NULL_CODE};
 pub use csv::{read_csv, write_csv, CsvError};
 pub use dictionary::Dictionary;
@@ -61,4 +61,4 @@ pub use fault::{FaultInjectingWebDb, FaultProfile, RateLimitWindow, TruncationPo
 pub use relation::{Relation, RelationBuilder, RowId};
 pub use resilient::{ResilienceReport, ResilientWebDb, RetryPolicy, VirtualClock};
 pub use sampler::{probe_by_spanning_queries, random_sample, ProbeError};
-pub use web::{AccessStats, InMemoryWebDb, QueryError, QueryPage, WebDatabase};
+pub use web::{AccessStats, InMemoryWebDb, QueryError, QueryPage, StatsCell, WebDatabase};

@@ -1,7 +1,7 @@
 //! `cargo xtask` — repo-specific static analysis for the AIMQ
 //! workspace.
 //!
-//! The headline command, `cargo xtask lint`, enforces three invariants
+//! The headline command, `cargo xtask lint`, enforces four invariants
 //! that ordinary type-checking cannot (see DESIGN.md, "Static analysis
 //! & invariants"):
 //!
@@ -11,11 +11,16 @@
 //!   compared with `f64::total_cmp`/`OrderedScore`, never the
 //!   NaN-unsafe `partial_cmp`.
 //! - **L3 mining determinism**: the mining/ranking/answering crates
-//!   (`afd`, `sim`, `rock`, `core`) never use `HashMap`/`HashSet`, whose
-//!   iteration order varies run to run. Insert-only membership sets that
-//!   are never iterated are safe but still flagged: each surviving use
-//!   carries an `aimq-lint: allow(hashmap)` justification recording the
-//!   audit.
+//!   (`afd`, `sim`, `rock`, `core`, `serve`) never use
+//!   `HashMap`/`HashSet`, whose iteration order varies run to run.
+//!   Insert-only membership sets that are never iterated are safe but
+//!   still flagged: each surviving use carries an
+//!   `aimq-lint: allow(hashmap)` justification recording the audit.
+//! - **L4 wall-clock independence**: the same crates never call
+//!   `std::thread::sleep` or `Instant::now()` — results and deadline
+//!   behavior replay over `VirtualClock` ticks, so real time must not
+//!   leak into them. Offline timing measurements (training-phase
+//!   stopwatches) carry an `aimq-lint: allow(wallclock)` justification.
 //!
 //! Diagnostics are rustc-style with file:line:col spans; per-line
 //! suppressions use `// aimq-lint: allow(<rule>) -- <justification>`
@@ -32,20 +37,22 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Library crates under the panic-freedom + float-ordering rules.
-pub const PANIC_CRATES: &[&str] = &["catalog", "storage", "afd", "sim", "rock", "core"];
+pub const PANIC_CRATES: &[&str] = &["catalog", "storage", "afd", "sim", "rock", "core", "serve"];
 
 /// Crates whose outputs feed sorted/ranked results and therefore must
-/// not iterate hash containers. `core` joined the list when the probe
-/// planner grew a `BTreeMap`-keyed memo: the engine's answers are
-/// replayable byte for byte, so any hash container it holds must be
-/// audited (and justified) as never-iterated.
-pub const DETERMINISM_CRATES: &[&str] = &["afd", "sim", "rock", "core"];
+/// not iterate hash containers or read the wall clock. `core` joined
+/// the list when the probe planner grew a `BTreeMap`-keyed memo;
+/// `serve` joined with the concurrent runtime, whose deadline and
+/// overload behavior replays over `VirtualClock` ticks — the engine's
+/// answers are replayable byte for byte, so any hash container or time
+/// source these crates hold must be audited (and justified).
+pub const DETERMINISM_CRATES: &[&str] = &["afd", "sim", "rock", "core", "serve"];
 
 /// A rendered-ready diagnostic bound to a file.
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
     /// Rule id (`panic`, `indexing`, `float-ordering`, `hashmap`,
-    /// `lint-allow`).
+    /// `wallclock`, `lint-allow`).
     pub rule: String,
     /// Error or warning.
     pub severity: Severity,

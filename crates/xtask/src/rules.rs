@@ -1,16 +1,24 @@
-//! The three AIMQ lint rules, matched over a [`ScannedFile`].
+//! The AIMQ lint rules, matched over a [`ScannedFile`].
 //!
 //! | id | severity | scope | what it catches |
 //! |---|---|---|---|
-//! | `panic` | error | six library crates | `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
-//! | `indexing` | warning | six library crates | direct `expr[...]` indexing/slicing |
-//! | `float-ordering` | error | six library crates | `.partial_cmp(` calls on scores |
-//! | `hashmap` | error | `afd`, `sim`, `rock`, `core` | any `HashMap`/`HashSet` use |
+//! | `panic` | error | seven library crates | `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
+//! | `indexing` | warning | seven library crates | direct `expr[...]` indexing/slicing |
+//! | `float-ordering` | error | seven library crates | `.partial_cmp(` calls on scores |
+//! | `hashmap` | error | `afd`, `sim`, `rock`, `core`, `serve` | any `HashMap`/`HashSet` use |
+//! | `wallclock` | error | `afd`, `sim`, `rock`, `core`, `serve` | `std::thread::sleep(` and `Instant::now()` |
 //!
 //! `indexing` is warn-level by default — mirroring clippy's
 //! allow-by-default `indexing_slicing` — because invariant-backed
 //! indexing is pervasive in the hot paths; `--deny-warnings` promotes
 //! it for audits.
+//!
+//! `wallclock` (L4) exists because the serving runtime's tests replay
+//! deadlines and backoff schedules over `VirtualClock` ticks; a stray
+//! `thread::sleep` or `Instant::now()` in determinism-scoped code makes
+//! those replays timing-dependent. Method calls named `now`/`sleep` on
+//! other receivers (e.g. `clock.now()`) are not flagged — only the
+//! qualified `Instant::now` / `thread::sleep` forms.
 
 use crate::source::ScannedFile;
 
@@ -45,7 +53,9 @@ pub struct Finding {
 pub struct RuleSet {
     /// L1 panic-freedom + L2 float ordering.
     pub panic_and_ordering: bool,
-    /// L3 determinism (HashMap/HashSet ban).
+    /// L3 determinism (HashMap/HashSet ban) + L4 wall-clock ban
+    /// (`thread::sleep` / `Instant::now`): both guard the same property
+    /// — replayability of results — so they share a scope.
     pub determinism: bool,
 }
 
@@ -142,6 +152,48 @@ pub fn check(file: &ScannedFile, rules: RuleSet) -> Vec<Finding> {
             }
         }
 
+        if rules.determinism {
+            // L4: `Instant::now(` / `thread::sleep(` — wall-clock reads
+            // and real sleeps make replay timing-dependent. Only the
+            // path-qualified form is flagged: the tokenizer emits `::`
+            // as two `:` tokens, so the shape is
+            // `<qualifier> : : <name> (`. Method calls like
+            // `clock.now()` have a `.` before the name and don't match.
+            let qualified_by = |q: &str| {
+                k.checked_sub(3).is_some_and(|i| {
+                    toks.get(i).is_some_and(|t3| t3.text == q && t3.is_ident)
+                        && toks.get(i + 1).is_some_and(|c| c.text == ":")
+                        && toks.get(i + 2).is_some_and(|c| c.text == ":")
+                })
+            };
+            if t.text == "now" && next.is_some_and(|n| n.text == "(") && qualified_by("Instant") {
+                findings.push(Finding {
+                    rule: "wallclock",
+                    severity: Severity::Error,
+                    line: t.line,
+                    col: t.col,
+                    message: "`Instant::now()` reads the wall clock in a determinism-scoped crate"
+                        .to_string(),
+                    help: "thread a `VirtualClock` (or tick counter) through instead, or justify \
+                           with `// aimq-lint: allow(wallclock) -- <why timing never affects \
+                           results>`",
+                });
+            }
+            if t.text == "sleep" && next.is_some_and(|n| n.text == "(") && qualified_by("thread") {
+                findings.push(Finding {
+                    rule: "wallclock",
+                    severity: Severity::Error,
+                    line: t.line,
+                    col: t.col,
+                    message: "`thread::sleep()` blocks on real time in a determinism-scoped crate"
+                        .to_string(),
+                    help: "advance a `VirtualClock` or park on a `Condvar` with an explicit \
+                           signal; justify exceptions with \
+                           `// aimq-lint: allow(wallclock) -- <justification>`",
+                });
+            }
+        }
+
         if rules.determinism && (t.text == "HashMap" || t.text == "HashSet") && t.is_ident {
             findings.push(Finding {
                 rule: "hashmap",
@@ -162,7 +214,13 @@ pub fn check(file: &ScannedFile, rules: RuleSet) -> Vec<Finding> {
 }
 
 /// Every rule id accepted inside `aimq-lint: allow(...)`.
-pub const KNOWN_RULES: &[&str] = &["panic", "indexing", "float-ordering", "hashmap"];
+pub const KNOWN_RULES: &[&str] = &[
+    "panic",
+    "indexing",
+    "float-ordering",
+    "hashmap",
+    "wallclock",
+];
 
 #[cfg(test)]
 mod tests {
@@ -228,6 +286,39 @@ mod tests {
             determinism: false,
         };
         assert!(check(&scan(src), only_panic).is_empty());
+    }
+
+    #[test]
+    fn wallclock_flags_qualified_sleep_and_now() {
+        assert_eq!(
+            rules_hit("fn f(d: Duration) { std::thread::sleep(d); }"),
+            vec!["wallclock"]
+        );
+        assert_eq!(
+            rules_hit("fn f(d: Duration) { thread::sleep(d); }"),
+            vec!["wallclock"]
+        );
+        assert_eq!(
+            rules_hit("fn f() { let t = Instant::now(); }"),
+            vec!["wallclock"]
+        );
+        assert_eq!(
+            rules_hit("fn f() { let t = std::time::Instant::now(); }"),
+            vec!["wallclock"]
+        );
+    }
+
+    #[test]
+    fn wallclock_ignores_method_calls_and_other_clocks() {
+        assert!(rules_hit("fn f(clock: &VirtualClock) { let t = clock.now(); }").is_empty());
+        assert!(rules_hit("fn f() { let t = VirtualClock::now(&c); }").is_empty());
+        assert!(rules_hit("fn f(w: &Worker) { w.sleep(ticks); }").is_empty());
+        // Only determinism-scoped crates see the rule at all.
+        let only_panic = RuleSet {
+            panic_and_ordering: true,
+            determinism: false,
+        };
+        assert!(check(&scan("fn f() { Instant::now(); }"), only_panic).is_empty());
     }
 
     #[test]

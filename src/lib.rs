@@ -18,6 +18,8 @@
 //! * [`rock`] — the ROCK clustering baseline;
 //! * [`engine`] — Algorithm 1: guided/random relaxation and top-k
 //!   ranking ([`engine::AimqSystem`] is the main entry point);
+//! * [`serve`] — concurrent query-serving runtime: worker pool,
+//!   bounded admission queue, per-query deadlines over virtual time;
 //! * [`data`] — seeded synthetic CarDB / CensusDB generators;
 //! * [`eval`] — runners reproducing every table and figure of the
 //!   paper's evaluation.
@@ -74,6 +76,12 @@ pub mod rock {
 /// The AIMQ query engine (Algorithm 1) and end-to-end system.
 pub mod engine {
     pub use aimq::*;
+}
+
+/// Concurrent query-serving runtime: worker pool, admission control,
+/// per-query deadlines over virtual time, serving stats.
+pub mod serve {
+    pub use aimq_serve::*;
 }
 
 /// Synthetic CarDB / CensusDB generators and the latent oracle.

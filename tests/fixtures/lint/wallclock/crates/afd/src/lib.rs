@@ -1,0 +1,18 @@
+//! L4 fixture: wall-clock reads and real sleeps in a determinism crate
+//! (`afd` is under the determinism rule).
+
+use std::time::{Duration, Instant};
+
+/// Times a mining pass with the wall clock — the result depends on the
+/// machine, not the data.
+pub fn timed_pass() -> Duration {
+    let t0 = Instant::now();
+    std::thread::sleep(Duration::from_millis(1));
+    t0.elapsed()
+}
+
+/// A suppressed read: offline stopwatch with a recorded justification.
+pub fn excused_stopwatch() -> Instant {
+    // aimq-lint: allow(wallclock) -- offline-only timing, never drives results
+    Instant::now()
+}

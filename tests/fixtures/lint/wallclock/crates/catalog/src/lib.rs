@@ -1,0 +1,27 @@
+//! Control: `catalog` is not a determinism crate, so wall-clock use
+//! here is NOT a violation (only the panic/ordering rules apply). The
+//! method-call forms below must stay clean even in determinism crates.
+
+use std::time::Instant;
+
+/// Wall-clock read outside the determinism scope.
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+/// Method calls named `now`/`sleep` on other receivers never match the
+/// qualified-path rule.
+pub fn virtual_time(clock: &crate_clock::VirtualClock) -> u64 {
+    clock.now()
+}
+
+pub mod crate_clock {
+    /// Stand-in tick source for the control fixture.
+    pub struct VirtualClock(pub u64);
+    impl VirtualClock {
+        /// Current tick.
+        pub fn now(&self) -> u64 {
+            self.0
+        }
+    }
+}

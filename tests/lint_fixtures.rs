@@ -87,6 +87,29 @@ fn hashmap_fixture_fails_only_in_determinism_crates() {
 }
 
 #[test]
+fn wallclock_fixture_fails_only_in_determinism_crates() {
+    let report = lint("wallclock");
+    assert!(report.failed(false));
+    let errors = rules_of(&report, Severity::Error);
+    // The afd fixture plants one `Instant::now()` and one
+    // `thread::sleep(`; the justified stopwatch is suppressed.
+    assert_eq!(
+        errors,
+        vec!["wallclock", "wallclock"],
+        "{:#?}",
+        report.diagnostics
+    );
+    // `catalog` holds a bare `Instant::now()` plus the method-call
+    // decoys (`clock.now()`) as controls and must stay silent.
+    for diag in &report.diagnostics {
+        assert!(
+            diag.path.starts_with("crates/afd"),
+            "wallclock flagged outside the determinism crates: {diag:#?}"
+        );
+    }
+}
+
+#[test]
 fn bad_allow_fixture_rejects_malformed_directives() {
     let report = lint("bad_allow");
     assert!(report.failed(false));
