@@ -116,9 +116,9 @@ impl AttributeOrdering {
         let mut wt_depends = vec![0.0; n];
         for afd in mined.afds() {
             let contribution = afd.support() / afd.lhs.len() as f64;
-            wt_depends[afd.rhs.index()] += contribution;
+            wt_depends[afd.rhs.index()] += contribution; // aimq-lint: allow(indexing) -- schema-sized weight table; AttrId is in-range by construction
             for a in afd.lhs.iter() {
-                wt_decides[a.index()] += contribution;
+                wt_decides[a.index()] += contribution; // aimq-lint: allow(indexing) -- schema-sized weight table; AttrId is in-range by construction
             }
         }
 
@@ -128,8 +128,8 @@ impl AttributeOrdering {
         let sort_group = |set: AttrSet, weights: &[f64]| -> Vec<AttrId> {
             let mut attrs: Vec<AttrId> = set.iter().collect();
             attrs.sort_by(|&a, &b| {
-                weights[a.index()]
-                    .total_cmp(&weights[b.index()])
+                weights[a.index()] // aimq-lint: allow(indexing) -- schema-sized weight table; AttrId is in-range by construction
+                    .total_cmp(&weights[b.index()]) // aimq-lint: allow(indexing) -- schema-sized weight table; AttrId is in-range by construction
                     .then(a.cmp(&b))
             });
             attrs
@@ -140,15 +140,15 @@ impl AttributeOrdering {
         // Wimp(k) = RelaxOrder(k)/count × Wt(k)/ΣWt(group), with optional
         // Laplace smoothing and a uniform fallback when a group's weights
         // sum to zero (no AFDs touching it).
-        let sum_decides: f64 = deciding.iter().map(|a| wt_decides[a.index()]).sum();
-        let sum_depends: f64 = dependent.iter().map(|a| wt_depends[a.index()]).sum();
+        let sum_decides: f64 = deciding.iter().map(|a| wt_decides[a.index()]).sum(); // aimq-lint: allow(indexing) -- schema-sized weight table; AttrId is in-range by construction
+        let sum_depends: f64 = dependent.iter().map(|a| wt_depends[a.index()]).sum(); // aimq-lint: allow(indexing) -- schema-sized weight table; AttrId is in-range by construction
         let mut importance = vec![0.0; n];
         for (pos, &attr) in relax_order.iter().enumerate() {
             let relax_order_k = (pos + 1) as f64; // 1-based position
             let (wt, sum, group_len) = if deciding.contains(attr) {
-                (wt_decides[attr.index()], sum_decides, deciding.len())
+                (wt_decides[attr.index()], sum_decides, deciding.len()) // aimq-lint: allow(indexing) -- schema-sized weight table; AttrId is in-range by construction
             } else {
-                (wt_depends[attr.index()], sum_depends, dependent.len())
+                (wt_depends[attr.index()], sum_depends, dependent.len()) // aimq-lint: allow(indexing) -- schema-sized weight table; AttrId is in-range by construction
             };
             let smoothed_sum = sum + alpha * group_len as f64;
             let share = if smoothed_sum > 0.0 {
@@ -158,7 +158,7 @@ impl AttributeOrdering {
             } else {
                 0.0
             };
-            importance[attr.index()] = relax_order_k / n as f64 * share;
+            importance[attr.index()] = relax_order_k / n as f64 * share; // aimq-lint: allow(indexing) -- schema-sized weight table; AttrId is in-range by construction
         }
 
         Ok(AttributeOrdering {
@@ -197,7 +197,7 @@ impl AttributeOrdering {
             total_queries += 1;
             for &attr in bound {
                 if attr.index() < n {
-                    counts[attr.index()] += 1;
+                    counts[attr.index()] += 1; // aimq-lint: allow(indexing) -- schema-sized weight table; AttrId is in-range by construction
                 }
             }
         }
@@ -206,7 +206,7 @@ impl AttributeOrdering {
         }
 
         let mut relax_order: Vec<AttrId> = schema.attr_ids().collect();
-        relax_order.sort_by(|&a, &b| counts[a.index()].cmp(&counts[b.index()]).then(a.cmp(&b)));
+        relax_order.sort_by(|&a, &b| counts[a.index()].cmp(&counts[b.index()]).then(a.cmp(&b))); // aimq-lint: allow(indexing) -- schema-sized weight table; AttrId is in-range by construction
 
         let total_bindings: usize = counts.iter().sum();
         let importance: Vec<f64> = if total_bindings == 0 {
@@ -311,7 +311,7 @@ impl AttributeOrdering {
 
     /// Raw importance weight `Wimp(attr)`.
     pub fn importance(&self, attr: AttrId) -> f64 {
-        self.importance[attr.index()]
+        self.importance[attr.index()] // aimq-lint: allow(indexing) -- schema-sized weight table; AttrId is in-range by construction
     }
 
     /// Importance weights for a set of attributes, renormalized to sum to
@@ -340,12 +340,12 @@ impl AttributeOrdering {
 
     /// `Wtdecides` for an attribute (0 when no AFD's antecedent holds it).
     pub fn wt_decides(&self, attr: AttrId) -> f64 {
-        self.wt_decides[attr.index()]
+        self.wt_decides[attr.index()] // aimq-lint: allow(indexing) -- schema-sized weight table; AttrId is in-range by construction
     }
 
     /// `Wtdepends` for an attribute (0 when it is no AFD's consequent).
     pub fn wt_depends(&self, attr: AttrId) -> f64 {
-        self.wt_depends[attr.index()]
+        self.wt_depends[attr.index()] // aimq-lint: allow(indexing) -- schema-sized weight table; AttrId is in-range by construction
     }
 
     /// The paper's greedy multi-attribute relaxation order for a given
@@ -385,6 +385,7 @@ pub fn combinations_in_order(order: &[AttrId], level: usize) -> Vec<Vec<AttrId>>
     let mut out = Vec::new();
     let mut indices: Vec<usize> = (0..level).collect();
     loop {
+        // aimq-lint: allow(indexing) -- combination cursors stay below n by the rollover invariant
         out.push(indices.iter().map(|&i| order[i]).collect());
         // next combination in lexicographic order
         let mut i = level;
@@ -393,13 +394,14 @@ pub fn combinations_in_order(order: &[AttrId], level: usize) -> Vec<Vec<AttrId>>
                 return out;
             }
             i -= 1;
+            // aimq-lint: allow(indexing) -- combination cursors stay below n by the rollover invariant
             if indices[i] != i + n - level {
                 break;
             }
         }
-        indices[i] += 1;
+        indices[i] += 1; // aimq-lint: allow(indexing) -- combination cursors stay below n by the rollover invariant
         for j in i + 1..level {
-            indices[j] = indices[j - 1] + 1;
+            indices[j] = indices[j - 1] + 1; // aimq-lint: allow(indexing) -- combination cursors stay below n by the rollover invariant
         }
     }
 }

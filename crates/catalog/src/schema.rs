@@ -163,12 +163,12 @@ impl Schema {
     /// The name of attribute `attr`; panics on out-of-range ids (programmer
     /// error — ids should only come from this schema).
     pub fn attr_name(&self, attr: AttrId) -> &str {
-        self.inner.attrs[attr.index()].name()
+        self.inner.attrs[attr.index()].name() // aimq-lint: allow(indexing) -- AttrId was minted by this schema, so index < arity
     }
 
     /// The domain of attribute `attr` (panics on out-of-range ids).
     pub fn domain(&self, attr: AttrId) -> Domain {
-        self.inner.attrs[attr.index()].domain()
+        self.inner.attrs[attr.index()].domain() // aimq-lint: allow(indexing) -- AttrId was minted by this schema, so index < arity
     }
 
     /// Resolve an attribute name to its id.

@@ -28,7 +28,7 @@ impl Tuple {
             });
         }
         for (i, v) in values.iter().enumerate() {
-            let attr = &schema.attributes()[i];
+            let attr = &schema.attributes()[i]; // aimq-lint: allow(indexing) -- i < arity: values.len() == arity was just checked
             let ok = matches!(
                 (attr.domain(), v),
                 (_, Value::Null)
@@ -55,7 +55,7 @@ impl Tuple {
 
     /// The value bound to attribute `attr`.
     pub fn value(&self, attr: AttrId) -> &Value {
-        &self.values[attr.index()]
+        &self.values[attr.index()] // aimq-lint: allow(indexing) -- values is arity-sized; AttrId is schema-minted
     }
 
     /// All values in schema order.

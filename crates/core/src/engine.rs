@@ -423,7 +423,7 @@ pub fn answer_imprecise_query(
                         if degradation.source_lost {
                             // Account the rest of this tuple's plan, then
                             // fall to the outer abandonment bookkeeping.
-                            let remaining = &plan[step_index + 1..];
+                            let remaining = &plan[step_index + 1..]; // aimq-lint: allow(indexing) -- step_index < plan.len(): it comes from enumerating the plan
                             degradation.probes_skipped += remaining.len() as u64;
                             degradation.levels_abandoned += distinct_levels(remaining);
                             abandoned_at = Some(base_index + 1);

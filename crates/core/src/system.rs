@@ -124,7 +124,7 @@ impl AimqSystem {
         } else {
             AttributeOrdering::derive_with_smoothing(&schema, &mined, config.smoothing)?
         };
-        let dependency_mining = t0.elapsed();
+        let dependency_mining = t0.elapsed(); // aimq-lint: allow(wallclock) -- stopwatch readout
 
         // aimq-lint: allow(wallclock) -- offline training timing (paper Table 2); never drives query-time decisions
         let t1 = Instant::now();
@@ -134,7 +134,7 @@ impl AimqSystem {
         } else {
             SimilarityModel::build(sample, &ordering, &sim_config)
         };
-        let similarity_estimation = t1.elapsed();
+        let similarity_estimation = t1.elapsed(); // aimq-lint: allow(wallclock) -- stopwatch readout
 
         Ok(AimqSystem {
             mined,

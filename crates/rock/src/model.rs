@@ -78,7 +78,7 @@ impl RockModel {
         // aimq-lint: allow(wallclock) -- offline training stopwatch (RockTimings); never drives clustering
         let t0 = Instant::now();
         let links = compute_links(&points, &sample_rows, config.theta);
-        let link_computation = t0.elapsed();
+        let link_computation = t0.elapsed(); // aimq-lint: allow(wallclock) -- stopwatch readout
 
         // aimq-lint: allow(wallclock) -- offline training stopwatch (RockTimings); never drives clustering
         let t1 = Instant::now();
@@ -88,7 +88,7 @@ impl RockModel {
             config.theta,
             config.target_clusters,
         );
-        let initial_clustering = t1.elapsed();
+        let initial_clustering = t1.elapsed(); // aimq-lint: allow(wallclock) -- stopwatch readout
 
         // Map member indices back to relation rows, weeding out clusters
         // below the outlier threshold.
@@ -96,7 +96,7 @@ impl RockModel {
             .clusters
             .iter()
             .filter(|c| c.len() >= config.min_cluster_size.max(1))
-            .map(|c| c.iter().map(|&m| sample_rows[m as usize]).collect())
+            .map(|c| c.iter().map(|&m| sample_rows[m as usize]).collect()) // aimq-lint: allow(indexing) -- cluster members are indices into the sample
             .collect();
 
         // Label the remaining rows: assign to the cluster maximizing
@@ -108,7 +108,7 @@ impl RockModel {
         let mut assignments: Vec<Option<u32>> = vec![None; n];
         for (cid, members) in clusters.iter().enumerate() {
             for &row in members {
-                assignments[row as usize] = Some(cid as u32);
+                assignments[row as usize] = Some(cid as u32); // aimq-lint: allow(indexing) -- assignments is relation-sized; rows and cluster ids are minted by this build
             }
         }
         let ft = f_theta(config.theta);
@@ -133,14 +133,14 @@ impl RockModel {
                 }
             }
             if let Some((_, cid)) = best {
-                assignments[row as usize] = Some(cid);
+                assignments[row as usize] = Some(cid); // aimq-lint: allow(indexing) -- assignments is relation-sized; rows and cluster ids are minted by this build
                 labeled.push((row, cid));
             }
         }
         for (row, cid) in labeled {
-            clusters[cid as usize].push(row);
+            clusters[cid as usize].push(row); // aimq-lint: allow(indexing) -- assignments is relation-sized; rows and cluster ids are minted by this build
         }
-        let data_labeling = t2.elapsed();
+        let data_labeling = t2.elapsed(); // aimq-lint: allow(wallclock) -- stopwatch readout
 
         RockModel {
             points,
@@ -162,7 +162,7 @@ impl RockModel {
 
     /// Cluster id of `row` (`None` for outliers).
     pub fn assignment(&self, row: RowId) -> Option<u32> {
-        self.assignments[row as usize]
+        self.assignments[row as usize] // aimq-lint: allow(indexing) -- assignments is relation-sized; rows and cluster ids are minted by this build
     }
 
     /// Offline phase timings (Table 2).
@@ -185,7 +185,7 @@ impl RockModel {
         let Some(cid) = self.assignment(row) else {
             return Vec::new();
         };
-        let mut scored: Vec<(RowId, f64)> = self.clusters[cid as usize]
+        let mut scored: Vec<(RowId, f64)> = self.clusters[cid as usize] // aimq-lint: allow(indexing) -- assignments is relation-sized; rows and cluster ids are minted by this build
             .iter()
             .filter(|&&m| m != row)
             .map(|&m| (m, self.points.sim(row, m)))

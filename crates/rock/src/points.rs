@@ -27,7 +27,7 @@ impl PointSet {
         for a in 0..m {
             let col = enc.codes(AttrId(a));
             for (row, &c) in col.iter().enumerate() {
-                codes[row * m + a] = c;
+                codes[row * m + a] = c; // aimq-lint: allow(indexing) -- row-major matrix: row < n and attr < m by the build loops
             }
         }
         PointSet { codes, n, m }
@@ -51,7 +51,7 @@ impl PointSet {
     /// The code row of point `p`.
     pub fn point(&self, p: RowId) -> &[u32] {
         let p = p as usize;
-        &self.codes[p * self.m..(p + 1) * self.m]
+        &self.codes[p * self.m..(p + 1) * self.m] // aimq-lint: allow(indexing) -- row-major matrix: row < n and attr < m by the build loops
     }
 
     /// Jaccard similarity between points `a` and `b` (set semantics over

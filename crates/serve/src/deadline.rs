@@ -29,6 +29,8 @@ pub struct DeadlineWebDb<'a> {
     deadline_ticks: u64,
     /// Cost charged per probe, cache hit or not.
     ticks_per_probe: u64,
+    // aimq-atomic: flag -- set once on first refusal; Release store pairs
+    // with the Acquire load in `deadline_missed`
     missed: AtomicBool,
 }
 
@@ -53,7 +55,7 @@ impl<'a> DeadlineWebDb<'a> {
 
     /// `true` once any probe was refused for exceeding the deadline.
     pub fn deadline_missed(&self) -> bool {
-        self.missed.load(Ordering::Relaxed)
+        self.missed.load(Ordering::Acquire)
     }
 }
 
@@ -67,7 +69,7 @@ impl WebDatabase for DeadlineWebDb<'_> {
             // Terminal by design: the engine treats `Unavailable` as
             // "stop probing, degrade gracefully", which is exactly the
             // deadline semantics — salvage what is already ranked.
-            self.missed.store(true, Ordering::Relaxed);
+            self.missed.store(true, Ordering::Release);
             return Err(QueryError::Unavailable);
         }
         self.clock.advance(self.ticks_per_probe);

@@ -84,7 +84,7 @@ impl std::error::Error for ServeError {}
 /// to cascade the panic through every thread that touches the mutex.
 pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex
-        .lock()
+        .lock() // aimq-lint: allow(lock-discipline) -- generic helper; family attributed at call sites
         .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 

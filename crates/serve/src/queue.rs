@@ -37,6 +37,8 @@ struct QueueState<T> {
 /// engine work per item, not by queue handoff, so a finer-grained
 /// design would buy nothing here.
 pub struct AdmissionQueue<T> {
+    // aimq-lock: family(admission-queue) -- sole queue lock; held only for
+    // push/pop bookkeeping and released before notifying the condvar
     state: Mutex<QueueState<T>>,
     available: Condvar,
     capacity: usize,

@@ -95,6 +95,8 @@ pub struct QueryServer {
     queue: Arc<AdmissionQueue<Request>>,
     stats: Arc<ServeStats>,
     in_flight_limit: usize,
+    // aimq-atomic: counter -- backlog occupancy; over-admission is corrected
+    // by the fetch_add/fetch_sub pairing, so no ordering is needed
     in_queue_or_flight: Arc<AtomicU64>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -124,6 +126,7 @@ impl QueryServer {
                 std::thread::spawn(move || {
                     while let Some(request) = queue.pop() {
                         serve_one(&system, &*db, &config, &stats, worker_id, request);
+                        // aimq-atomic: counter -- releases this request's backlog slot
                         in_flight.fetch_sub(1, Ordering::Relaxed);
                     }
                 })

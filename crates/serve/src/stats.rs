@@ -24,14 +24,23 @@ pub const LATENCY_BUCKETS: usize = 16;
 /// updated by the submitting thread and every worker.
 #[derive(Debug, Default)]
 pub struct ServeStats {
+    // aimq-atomic: counter -- monotone tally; readers tolerate torn snapshots
     submitted: AtomicU64,
+    // aimq-atomic: counter -- monotone tally; readers tolerate torn snapshots
     admitted: AtomicU64,
+    // aimq-atomic: counter -- monotone tally; readers tolerate torn snapshots
     rejected: AtomicU64,
+    // aimq-atomic: counter -- monotone tally; readers tolerate torn snapshots
     completed: AtomicU64,
+    // aimq-atomic: counter -- monotone tally; readers tolerate torn snapshots
     deadline_missed: AtomicU64,
+    // aimq-atomic: counter -- monotone high-water mark via fetch_max
     max_queue_depth: AtomicU64,
+    // aimq-atomic: counter -- monotone tally; readers tolerate torn snapshots
     latency_ticks_total: AtomicU64,
+    // aimq-atomic: counter -- per-bucket tallies; no cross-slot consistency
     latency_hist: [AtomicU64; LATENCY_BUCKETS],
+    // aimq-atomic: counter -- per-worker tallies; no cross-slot consistency
     worker_processed: Vec<AtomicU64>,
 }
 
@@ -93,9 +102,11 @@ impl ServeStats {
             .fetch_add(latency_ticks, Ordering::Relaxed);
         let bucket = bucket_for(latency_ticks);
         if let Some(slot) = self.latency_hist.get(bucket) {
+            // aimq-atomic: counter -- histogram bucket tally
             slot.fetch_add(1, Ordering::Relaxed);
         }
         if let Some(slot) = self.worker_processed.get(worker) {
+            // aimq-atomic: counter -- per-worker tally
             slot.fetch_add(1, Ordering::Relaxed);
         }
     }

@@ -56,7 +56,7 @@ impl Bag {
     pub fn count(&self, code: u32) -> u32 {
         self.entries
             .binary_search_by_key(&code, |&(k, _)| k)
-            .map_or(0, |i| self.entries[i].1)
+            .map_or(0, |i| self.entries[i].1) // aimq-lint: allow(indexing) -- i comes from a successful binary_search
     }
 
     /// Iterate `(code, count)` pairs in ascending code order.
@@ -76,25 +76,26 @@ impl Bag {
         let (mut i, mut j) = (0, 0);
         let (a, b) = (&self.entries, &other.entries);
         while i < a.len() && j < b.len() {
+            // aimq-lint: allow(indexing) -- i and j are bounded by the merge loop condition
             match a[i].0.cmp(&b[j].0) {
                 std::cmp::Ordering::Less => {
-                    union += u64::from(a[i].1);
+                    union += u64::from(a[i].1); // aimq-lint: allow(indexing) -- i and j are bounded by the merge loop condition
                     i += 1;
                 }
                 std::cmp::Ordering::Greater => {
-                    union += u64::from(b[j].1);
+                    union += u64::from(b[j].1); // aimq-lint: allow(indexing) -- i and j are bounded by the merge loop condition
                     j += 1;
                 }
                 std::cmp::Ordering::Equal => {
-                    inter += u64::from(a[i].1.min(b[j].1));
-                    union += u64::from(a[i].1.max(b[j].1));
+                    inter += u64::from(a[i].1.min(b[j].1)); // aimq-lint: allow(indexing) -- i and j are bounded by the merge loop condition
+                    union += u64::from(a[i].1.max(b[j].1)); // aimq-lint: allow(indexing) -- i and j are bounded by the merge loop condition
                     i += 1;
                     j += 1;
                 }
             }
         }
-        union += a[i..].iter().map(|&(_, c)| u64::from(c)).sum::<u64>();
-        union += b[j..].iter().map(|&(_, c)| u64::from(c)).sum::<u64>();
+        union += a[i..].iter().map(|&(_, c)| u64::from(c)).sum::<u64>(); // aimq-lint: allow(indexing) -- i and j are bounded by the merge loop condition
+        union += b[j..].iter().map(|&(_, c)| u64::from(c)).sum::<u64>(); // aimq-lint: allow(indexing) -- i and j are bounded by the merge loop condition
         if union == 0 {
             0.0
         } else {

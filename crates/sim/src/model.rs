@@ -41,7 +41,7 @@ impl ValueSimMatrix {
         if a >= self.n || b >= self.n {
             return 0.0;
         }
-        self.sims[a * self.n + b]
+        self.sims[a * self.n + b] // aimq-lint: allow(indexing) -- a and b were just bounds-checked against n
     }
 
     /// Similarity between two value strings. Identical strings are 1 even
@@ -203,7 +203,7 @@ impl SimilarityModel {
     /// it to turn numeric `like` bindings into bucket-band selections —
     /// the form-interface analogue of a price-range select box.
     pub fn bucket_spec(&self, attr: AttrId) -> Option<aimq_catalog::BucketSpec> {
-        self.bucket_specs[attr.index()]
+        self.bucket_specs[attr.index()] // aimq-lint: allow(indexing) -- schema-sized per-attribute table; AttrId is in-range
     }
 
     /// Reassemble a model from raw parts (model persistence). `matrices`
@@ -253,19 +253,19 @@ impl SimilarityModel {
 
         let mut sims = vec![0.0; n * n];
         for i in 0..n {
-            sims[i * n + i] = 1.0;
+            sims[i * n + i] = 1.0; // aimq-lint: allow(indexing) -- n-by-n matrix; i and j are bounded by the build loops
             for j in (i + 1)..n {
                 let mut v = 0.0;
                 for (&other, &w) in others.iter().zip(&weights) {
                     if w == 0.0 {
                         continue;
                     }
-                    let a = supertuples[i].bag(other);
-                    let b = supertuples[j].bag(other);
+                    let a = supertuples[i].bag(other); // aimq-lint: allow(indexing) -- n-by-n matrix; i and j are bounded by the build loops
+                    let b = supertuples[j].bag(other); // aimq-lint: allow(indexing) -- n-by-n matrix; i and j are bounded by the build loops
                     v += w * a.jaccard(b);
                 }
-                sims[i * n + j] = v;
-                sims[j * n + i] = v;
+                sims[i * n + j] = v; // aimq-lint: allow(indexing) -- n-by-n matrix; i and j are bounded by the build loops
+                sims[j * n + i] = v; // aimq-lint: allow(indexing) -- n-by-n matrix; i and j are bounded by the build loops
             }
         }
 
@@ -285,7 +285,7 @@ impl SimilarityModel {
 
     /// The value-similarity matrix of a categorical attribute.
     pub fn matrix(&self, attr: AttrId) -> Option<&ValueSimMatrix> {
-        self.matrices[attr.index()].as_ref()
+        self.matrices[attr.index()].as_ref() // aimq-lint: allow(indexing) -- schema-sized per-attribute table; AttrId is in-range
     }
 
     /// `VSim` between two values of categorical attribute `attr`.

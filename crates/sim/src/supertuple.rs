@@ -26,7 +26,7 @@ pub struct SuperTuple {
 impl SuperTuple {
     /// Bag of co-occurring features for attribute `attr`.
     pub fn bag(&self, attr: AttrId) -> &Bag {
-        &self.bags[attr.index()]
+        &self.bags[attr.index()] // aimq-lint: allow(indexing) -- bags is schema-sized; AttrId is in-range
     }
 
     /// All bags in schema-attribute order.
@@ -59,12 +59,14 @@ pub fn build_supertuples(enc: &EncodedRelation, attr: AttrId) -> Vec<SuperTuple>
         if value == aimq_storage::NULL_CODE {
             continue;
         }
+        // aimq-lint: allow(indexing) -- value codes are < cardinality by dictionary interning
         support[value as usize] += 1;
+        // aimq-lint: allow(indexing) -- value codes are < cardinality by dictionary interning
         for (other, other_counts) in counts[value as usize].iter_mut().enumerate() {
             if other == attr.index() {
                 continue;
             }
-            let feature = enc.codes(AttrId(other))[row];
+            let feature = enc.codes(AttrId(other))[row]; // aimq-lint: allow(indexing) -- codes column is relation-sized; row ranges over it
             if feature == aimq_storage::NULL_CODE {
                 continue;
             }

@@ -90,6 +90,9 @@ pub struct CachedWebDb<D> {
     /// Capacity bound each stripe enforces locally.
     stripe_capacity: usize,
     /// At least one stripe, always.
+    // aimq-lock: family(cache-stripe) -- each stripe guards one shard of the
+    // page memo; stripes are peers, never nested, and no guard outlives the
+    // hit/miss bookkeeping around a probe
     stripes: Arc<Vec<Mutex<CacheState>>>,
 }
 
@@ -153,6 +156,7 @@ impl<D: WebDatabase> CachedWebDb<D> {
 
     /// Number of pages currently memoized, summed over stripes.
     pub fn len(&self) -> usize {
+        // aimq-lock: use(cache-stripe)
         self.stripes.iter().map(|s| lock_stats(s).pages.len()).sum()
     }
 
@@ -192,7 +196,7 @@ impl<D: WebDatabase> WebDatabase for CachedWebDb<D> {
             return self.inner.try_query(query);
         };
         {
-            let mut state = lock_stats(stripe);
+            let mut state = lock_stats(stripe); // aimq-lock: use(cache-stripe)
             if let Some(page) = state.pages.get(key) {
                 let page = page.clone();
                 state.hits += 1;
@@ -205,6 +209,7 @@ impl<D: WebDatabase> WebDatabase for CachedWebDb<D> {
         // *other* queries must not serialize behind it.
         let page = self.inner.try_query(query)?;
         if !page.truncated && self.stripe_capacity > 0 {
+            // aimq-lock: use(cache-stripe)
             let mut state = lock_stats(stripe);
             // A concurrent miss for the same query may have raced us here;
             // first insertion wins so `order` never holds a duplicate key.

@@ -46,10 +46,10 @@ impl Column {
                 // `NULL_CODE` falls outside every dictionary, so nulls and
                 // (would-be corruption) codes the builder never interned
                 // both decode to null instead of panicking.
-                dict.value_of(codes[row]).map_or(Value::Null, Value::cat)
+                dict.value_of(codes[row]).map_or(Value::Null, Value::cat) // aimq-lint: allow(indexing) -- row < n_rows: the relation hands out only its own row range
             }
             Column::Numeric(vs) => {
-                let v = vs[row];
+                let v = vs[row]; // aimq-lint: allow(indexing) -- row < n_rows: the relation hands out only its own row range
                 if v.is_nan() {
                     Value::Null
                 } else {
@@ -63,7 +63,7 @@ impl Column {
     pub fn code(&self, row: usize) -> Option<u32> {
         match self {
             Column::Categorical { codes, .. } => {
-                let c = codes[row];
+                let c = codes[row]; // aimq-lint: allow(indexing) -- row < n_rows: the relation hands out only its own row range
                 (c != NULL_CODE).then_some(c)
             }
             Column::Numeric(_) => None,
@@ -74,7 +74,7 @@ impl Column {
     pub fn num(&self, row: usize) -> Option<f64> {
         match self {
             Column::Numeric(vs) => {
-                let v = vs[row];
+                let v = vs[row]; // aimq-lint: allow(indexing) -- row < n_rows: the relation hands out only its own row range
                 (!v.is_nan()).then_some(v)
             }
             Column::Categorical { .. } => None,

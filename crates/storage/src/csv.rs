@@ -173,7 +173,7 @@ pub fn read_csv<R: BufRead>(schema: &Schema, input: R) -> Result<Relation, CsvEr
                 if field.is_empty() {
                     return Ok(Value::Null);
                 }
-                let attr = &schema.attributes()[col];
+                let attr = &schema.attributes()[col]; // aimq-lint: allow(indexing) -- col < arity: the record arity was just validated
                 match attr.domain() {
                     Domain::Categorical => Ok(Value::Cat(field)),
                     Domain::Numeric => field.trim().parse::<f64>().map(Value::Num).map_err(|_| {

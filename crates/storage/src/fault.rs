@@ -174,6 +174,8 @@ pub struct FaultInjectingWebDb<D> {
     profile: FaultProfile,
     seed: u64,
     mode: FaultMode,
+    // aimq-lock: family(fault-state) -- guards the schedule cursor and
+    // meters; never held across a probe of the inner database
     state: Arc<Mutex<FaultState>>,
 }
 

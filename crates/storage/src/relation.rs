@@ -71,7 +71,7 @@ impl Relation {
 
     /// The column storing attribute `attr`.
     pub fn column(&self, attr: AttrId) -> &Column {
-        &self.columns[attr.index()]
+        &self.columns[attr.index()] // aimq-lint: allow(indexing) -- columns is arity-sized; AttrId and rows are minted by this relation
     }
 
     /// Decode row `row` into an owned [`Tuple`].
@@ -82,12 +82,12 @@ impl Relation {
 
     /// Decode the value at (`row`, `attr`).
     pub fn value(&self, row: RowId, attr: AttrId) -> Value {
-        self.columns[attr.index()].value(row as usize)
+        self.columns[attr.index()].value(row as usize) // aimq-lint: allow(indexing) -- columns is arity-sized; AttrId and rows are minted by this relation
     }
 
     /// Dictionary code at (`row`, `attr`) for categorical attributes.
     pub fn code(&self, row: RowId, attr: AttrId) -> Option<u32> {
-        self.columns[attr.index()].code(row as usize)
+        self.columns[attr.index()].code(row as usize) // aimq-lint: allow(indexing) -- columns is arity-sized; AttrId and rows are minted by this relation
     }
 
     /// Iterate over all row ids.
@@ -132,7 +132,7 @@ impl Relation {
         };
         let start = index.partition_point(|&(v, _)| v < lo);
         let end = index.partition_point(|&(v, _)| v < hi);
-        &index[start..end]
+        &index[start..end] // aimq-lint: allow(indexing) -- partition_point bounds: start <= end <= len
     }
 
     /// A uniform random sample of `n` rows *without replacement* (Section
@@ -181,7 +181,7 @@ impl RelationBuilder {
         // Validate all values before mutating any column so a bad tuple
         // cannot leave the builder with ragged columns.
         for (i, v) in tuple.values().iter().enumerate() {
-            let attr = &self.schema.attributes()[i];
+            let attr = &self.schema.attributes()[i]; // aimq-lint: allow(indexing) -- i < arity by the enumerate over a validated tuple
             let ok = matches!(
                 (attr.domain(), v),
                 (_, Value::Null)
@@ -197,6 +197,7 @@ impl RelationBuilder {
             }
         }
         for (i, v) in tuple.values().iter().enumerate() {
+            // aimq-lint: allow(indexing) -- i < arity by the enumerate over a validated tuple
             match (&mut self.columns[i], v) {
                 (Column::Categorical { codes, dict }, Value::Cat(s)) => {
                     codes.push(dict.intern(s));
@@ -207,7 +208,7 @@ impl RelationBuilder {
                 // Excluded by the validation loop above; propagated as an
                 // error (not a panic) to keep storage panic-free.
                 (col, v) => {
-                    let attr = &self.schema.attributes()[i];
+                    let attr = &self.schema.attributes()[i]; // aimq-lint: allow(indexing) -- i < arity by the enumerate over a validated tuple
                     debug_assert!(false, "validated tuple mismatched {col:?}");
                     return Err(CatalogError::DomainMismatch {
                         attribute: attr.name().to_owned(),
@@ -240,7 +241,7 @@ impl RelationBuilder {
                     let mut idx: Vec<Vec<RowId>> = vec![Vec::new(); dict.len()];
                     for (row, &code) in codes.iter().enumerate() {
                         if code != NULL_CODE {
-                            idx[code as usize].push(row as RowId);
+                            idx[code as usize].push(row as RowId); // aimq-lint: allow(indexing) -- code < cardinality by dictionary interning
                         }
                     }
                     idx

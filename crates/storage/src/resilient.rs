@@ -27,6 +27,8 @@ use crate::{AccessStats, QueryError, QueryPage, WebDatabase};
 /// Shared by reference; advancing is wait-free.
 #[derive(Debug, Default)]
 pub struct VirtualClock {
+    // aimq-atomic: counter -- wait-free monotone tick tally; readers only
+    // need an eventually-current value
     ticks: AtomicU64,
 }
 
@@ -119,6 +121,8 @@ pub struct ResilientWebDb<D> {
     inner: D,
     policy: RetryPolicy,
     clock: Arc<VirtualClock>,
+    // aimq-lock: family(resilient-state) -- guards breaker/budget/report
+    // bookkeeping; released before every probe of the inner database
     state: Arc<Mutex<ResilientState>>,
 }
 

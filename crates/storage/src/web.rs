@@ -137,6 +137,8 @@ impl AccessStats {
 /// Lock a stats mutex, recovering from poisoning instead of panicking:
 /// the protected value is a plain counter block, always valid.
 pub(crate) fn lock_stats<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // aimq-lint: allow(lock-discipline) -- generic helper; the lock family
+    // is attributed at each call site, not here
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -196,8 +198,12 @@ impl AccessStats {
 #[derive(Debug)]
 pub struct StatsCell {
     /// Seqlock word: odd while a write is in progress.
+    // aimq-atomic: seqlock -- version word; Acquire/Release transitions
+    // fence the relaxed slot accesses between them
     version: AtomicU64,
     /// One slot per `AccessStats` field, in `to_slots` order.
+    // aimq-atomic: seqlock -- data slots; ordering supplied by the
+    // `version` word's Acquire/Release protocol
     slots: [AtomicU64; STAT_SLOTS],
 }
 
@@ -246,6 +252,7 @@ impl StatsCell {
         let v = self.begin_write();
         for (slot, d) in self.slots.iter().zip(delta.to_slots()) {
             if d != 0 {
+                // aimq-atomic: seqlock -- slot write inside the odd-version window
                 slot.fetch_add(d, Ordering::Relaxed);
             }
         }
@@ -256,6 +263,7 @@ impl StatsCell {
     pub fn reset(&self) {
         let v = self.begin_write();
         for slot in &self.slots {
+            // aimq-atomic: seqlock -- slot write inside the odd-version window
             slot.store(0, Ordering::Relaxed);
         }
         self.version.store(v + 2, Ordering::Release);
@@ -272,6 +280,7 @@ impl StatsCell {
             }
             let mut slots = [0u64; STAT_SLOTS];
             for (out, slot) in slots.iter_mut().zip(&self.slots) {
+                // aimq-atomic: seqlock -- slot read validated by the version recheck
                 *out = slot.load(Ordering::Relaxed);
             }
             std::sync::atomic::fence(Ordering::Acquire);

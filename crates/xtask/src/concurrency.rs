@@ -1,0 +1,726 @@
+//! L5 `lock-discipline` and L6 `atomics-audit` checks over the
+//! structural facts produced by [`crate::structure::analyze`].
+//!
+//! Per-file pass ([`check_file`]): unannotated lock/atomic fields,
+//! unresolvable acquisitions and atomic ops, same-family re-acquisition,
+//! guards held across blocking calls, `Relaxed` misuse per atomic role,
+//! and Acquire/Release pairing (per-field for `flag` roles, grouped for
+//! `seqlock` protocols where a version word carries the fences for its
+//! payload slots).
+//!
+//! Workspace pass ([`check_workspace`]): a fixpoint over the
+//! call-graph computes which lock families each function may
+//! transitively acquire; every nested acquisition — direct or through a
+//! call made with a guard live — becomes an ordering edge between
+//! families, and any edge that closes a cycle (including self-loops
+//! through helper calls) is a deadlock-potential finding at the site
+//! that closes it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::rules::{Finding, Severity};
+use crate::source::AtomicRole;
+use crate::structure::{AtomicOp, FileAnalysis};
+
+/// Callee names too generic to resolve through the workspace call
+/// graph: std-alike methods (`len`, `clear`, `insert`, ...) that would
+/// otherwise alias unrelated workspace functions and fabricate edges
+/// (e.g. `pages.len()` under a stripe guard aliasing `CachedWebDb::len`,
+/// which acquires the same stripe family).
+const CALLEE_BLOCKLIST: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "drop",
+    "fmt",
+    "len",
+    "is_empty",
+    "clear",
+    "next",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "push_back",
+    "push_front",
+    "pop_back",
+    "pop_front",
+    "iter",
+    "iter_mut",
+    "contains",
+    "contains_key",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "from",
+    "into",
+    "index",
+    "min",
+    "max",
+    "map",
+    "and_then",
+    "filter",
+    "collect",
+    "sum",
+    "extend",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "ok_or",
+    "ok_or_else",
+];
+
+const LOCK_HELP: &str = "declare a family with `// aimq-lock: family(<name>) -- <why>` on the \
+                         field, mark indirect acquisitions with `// aimq-lock: use(<name>)`, or \
+                         justify with `// aimq-lint: allow(lock-discipline) -- <why>`";
+
+const ORDER_HELP: &str = "pick one global acquisition order for these families and release the \
+                          outer guard first, or justify with \
+                          `// aimq-lint: allow(lock-discipline) -- <why this cannot deadlock>`";
+
+const BLOCKING_HELP: &str = "drop (or scope) the guard before the blocking call — clone what you \
+                             need out of the critical section — or justify with \
+                             `// aimq-lint: allow(lock-discipline) -- <why the wait is bounded>`";
+
+const ROLE_HELP: &str = "annotate the field with `// aimq-atomic: counter|flag|seqlock -- <why>` \
+                         (counter: statistics tolerant of reorder; flag: publishes a decision; \
+                         seqlock: version-word protocol)";
+
+const RELAXED_HELP: &str = "flags publish decisions across threads: use `Ordering::Release` on \
+                            the store and `Ordering::Acquire` on the load, or re-role the field \
+                            as `counter` if no other memory depends on it";
+
+/// Does one of the op's orderings synchronize on the acquire side?
+fn acquire_side(op: &AtomicOp) -> bool {
+    op.orderings
+        .iter()
+        .any(|o| matches!(o.as_str(), "Acquire" | "AcqRel" | "SeqCst"))
+}
+
+/// Does one of the op's orderings synchronize on the release side?
+fn release_side(op: &AtomicOp) -> bool {
+    op.orderings
+        .iter()
+        .any(|o| matches!(o.as_str(), "Release" | "AcqRel" | "SeqCst"))
+}
+
+fn all_relaxed(op: &AtomicOp) -> bool {
+    op.orderings.iter().all(|o| o == "Relaxed")
+}
+
+/// Per-file L5 + L6 findings.
+pub fn check_file(analysis: &FileAnalysis) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // L5: every owned lock must belong to a named family.
+    for field in &analysis.lock_fields {
+        if field.family.is_none() {
+            findings.push(Finding {
+                rule: "lock-discipline",
+                severity: Severity::Error,
+                line: field.line,
+                col: field.col,
+                message: format!("lock field `{}` has no lock-family annotation", field.name),
+                help: LOCK_HELP,
+            });
+        }
+    }
+    for f in &analysis.functions {
+        for acq in &f.acquisitions {
+            match &acq.family {
+                None => findings.push(Finding {
+                    rule: "lock-discipline",
+                    severity: Severity::Error,
+                    line: acq.line,
+                    col: acq.col,
+                    message: format!(
+                        "cannot attribute this lock acquisition{} to a declared family",
+                        if acq.receiver.is_empty() {
+                            String::new()
+                        } else {
+                            format!(" (receiver `{}`)", acq.receiver)
+                        }
+                    ),
+                    help: LOCK_HELP,
+                }),
+                Some(fam) if acq.held.iter().any(|h| h == fam) => findings.push(Finding {
+                    rule: "lock-discipline",
+                    severity: Severity::Error,
+                    line: acq.line,
+                    col: acq.col,
+                    message: format!(
+                        "re-acquiring lock family `{fam}` while a `{fam}` guard is already live \
+                         in `{}` deadlocks (std Mutex is not reentrant)",
+                        f.name
+                    ),
+                    help: ORDER_HELP,
+                }),
+                Some(_) => {}
+            }
+        }
+        for b in &f.blocking {
+            findings.push(Finding {
+                rule: "lock-discipline",
+                severity: Severity::Error,
+                line: b.line,
+                col: b.col,
+                message: format!(
+                    "`{}` guard (acquired on line {}) is held across blocking call `{}` in `{}`",
+                    b.family, b.acquired_line, b.callee, f.name
+                ),
+                help: BLOCKING_HELP,
+            });
+        }
+    }
+
+    // L6: every atomic field needs a role; orderings must fit the role.
+    for field in &analysis.atomic_fields {
+        if field.role.is_none() {
+            findings.push(Finding {
+                rule: "atomics-audit",
+                severity: Severity::Error,
+                line: field.line,
+                col: field.col,
+                message: format!("atomic field `{}` has no role annotation", field.name),
+                help: ROLE_HELP,
+            });
+        }
+    }
+    for f in &analysis.functions {
+        for op in &f.atomic_ops {
+            match op.role {
+                None => findings.push(Finding {
+                    rule: "atomics-audit",
+                    severity: Severity::Error,
+                    line: op.line,
+                    col: op.col,
+                    message: format!(
+                        "cannot attribute `.{}()` to a role-annotated atomic field",
+                        op.method
+                    ),
+                    help: ROLE_HELP,
+                }),
+                Some(AtomicRole::Counter) => {}
+                Some(AtomicRole::Flag) if all_relaxed(op) => findings.push(Finding {
+                    rule: "atomics-audit",
+                    severity: Severity::Error,
+                    line: op.line,
+                    col: op.col,
+                    message: format!(
+                        "`Ordering::Relaxed` on flag-role atomic{}: the flag synchronizes \
+                         nothing",
+                        op.field
+                            .as_deref()
+                            .map(|n| format!(" `{n}`"))
+                            .unwrap_or_default()
+                    ),
+                    help: RELAXED_HELP,
+                }),
+                Some(AtomicRole::Seqlock) if all_relaxed(op) && !f.has_sync_op => {
+                    findings.push(Finding {
+                        rule: "atomics-audit",
+                        severity: Severity::Error,
+                        line: op.line,
+                        col: op.col,
+                        message: format!(
+                            "seqlock-role `Relaxed` op in `{}`, which performs no \
+                             Acquire/Release op or fence to order it",
+                            f.name
+                        ),
+                        help: "seqlock payload ops may be Relaxed only when the enclosing \
+                               function orders them with a version-word Acquire/Release op or \
+                               an explicit fence",
+                    });
+                }
+                Some(AtomicRole::Flag) | Some(AtomicRole::Seqlock) => {}
+            }
+        }
+    }
+
+    // L6 pairing. Flags pair per field: a Release store no thread
+    // Acquire-loads (or vice versa) synchronizes nothing.
+    let ops_of = |name: &str| -> Vec<&AtomicOp> {
+        analysis
+            .functions
+            .iter()
+            .flat_map(|f| f.atomic_ops.iter())
+            .filter(|op| op.field.as_deref() == Some(name))
+            .collect()
+    };
+    for field in &analysis.atomic_fields {
+        if field.role != Some(AtomicRole::Flag) {
+            continue;
+        }
+        let ops = ops_of(&field.name);
+        if ops.is_empty() {
+            continue;
+        }
+        let has_acq = ops.iter().any(|op| acquire_side(op));
+        let has_rel = ops.iter().any(|op| release_side(op));
+        if !(has_acq && has_rel) {
+            findings.push(Finding {
+                rule: "atomics-audit",
+                severity: Severity::Error,
+                line: field.line,
+                col: field.col,
+                message: format!(
+                    "flag-role atomic `{}` has {} in this file — Acquire/Release must pair to \
+                     publish anything",
+                    field.name,
+                    if has_rel {
+                        "Release stores but no Acquire-side load"
+                    } else {
+                        "Acquire loads but no Release-side store"
+                    }
+                ),
+                help: RELAXED_HELP,
+            });
+        }
+    }
+    // Seqlocks pair as a group: the version word supplies the fences
+    // for the payload slots, so the file's seqlock ops jointly need
+    // both sides.
+    let seq_fields: Vec<&str> = analysis
+        .atomic_fields
+        .iter()
+        .filter(|f| f.role == Some(AtomicRole::Seqlock))
+        .map(|f| f.name.as_str())
+        .collect();
+    if !seq_fields.is_empty() {
+        let seq_ops: Vec<&AtomicOp> = analysis
+            .functions
+            .iter()
+            .flat_map(|f| f.atomic_ops.iter())
+            .filter(|op| op.role == Some(AtomicRole::Seqlock))
+            .collect();
+        if !seq_ops.is_empty() {
+            let has_acq = seq_ops.iter().any(|op| acquire_side(op));
+            let has_rel = seq_ops.iter().any(|op| release_side(op));
+            if !(has_acq && has_rel) {
+                let first = analysis
+                    .atomic_fields
+                    .iter()
+                    .find(|f| f.role == Some(AtomicRole::Seqlock))
+                    .expect("non-empty seq_fields implies a seqlock field");
+                findings.push(Finding {
+                    rule: "atomics-audit",
+                    severity: Severity::Error,
+                    line: first.line,
+                    col: first.col,
+                    message: format!(
+                        "seqlock group ({}) lacks {} — writers must Release the version bump \
+                         and readers must Acquire it",
+                        seq_fields.join(", "),
+                        if has_rel {
+                            "an Acquire-side read"
+                        } else {
+                            "a Release-side write"
+                        }
+                    ),
+                    help: "see `storage::web::StatsCell` for the canonical version-word protocol",
+                });
+            }
+        }
+    }
+
+    findings
+}
+
+/// One lock-ordering edge: family `from` is held while `to` is
+/// acquired, at `(file_idx, line, col)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Edge {
+    from: String,
+    to: String,
+    file_idx: usize,
+    line: usize,
+    col: usize,
+    /// Callee the nested acquisition routes through, when indirect.
+    via: Option<String>,
+}
+
+/// Workspace-wide L5 pass. `analyses` pairs each file's index with its
+/// facts; returned findings carry the index of the file they occur in
+/// so the caller can apply that file's suppressions.
+pub fn check_workspace(analyses: &[(usize, &FileAnalysis)]) -> Vec<(usize, Finding)> {
+    // Merge same-name functions across files (trait impls union their
+    // effects — conservative but sound for ordering).
+    #[derive(Default)]
+    struct Summary {
+        acquires: BTreeSet<String>,
+        calls: BTreeSet<String>,
+    }
+    let mut fns: BTreeMap<String, Summary> = BTreeMap::new();
+    for (_, analysis) in analyses {
+        for f in &analysis.functions {
+            let s = fns.entry(f.name.clone()).or_default();
+            s.acquires
+                .extend(f.acquisitions.iter().filter_map(|a| a.family.clone()));
+            s.calls.extend(
+                f.calls
+                    .iter()
+                    .filter(|c| !CALLEE_BLOCKLIST.contains(&c.as_str()))
+                    .cloned(),
+            );
+        }
+    }
+    // Fixpoint: families a call to `name` may transitively acquire.
+    let mut may: BTreeMap<&str, BTreeSet<String>> = fns
+        .iter()
+        .map(|(name, s)| (name.as_str(), s.acquires.clone()))
+        .collect();
+    loop {
+        let mut changed = false;
+        let additions: Vec<(&str, BTreeSet<String>)> = fns
+            .iter()
+            .map(|(name, s)| {
+                let mut add = BTreeSet::new();
+                for callee in &s.calls {
+                    if let Some(fams) = may.get(callee.as_str()) {
+                        add.extend(fams.iter().cloned());
+                    }
+                }
+                (name.as_str(), add)
+            })
+            .collect();
+        for (name, add) in additions {
+            let set = may.entry(name).or_default();
+            for fam in add {
+                changed |= set.insert(fam);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Collect ordering edges: direct nested acquisitions and calls that
+    // may acquire while a guard is live.
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut push_edge = |e: Edge| {
+        if !edges.contains(&e) {
+            edges.push(e);
+        }
+    };
+    for (idx, analysis) in analyses {
+        for f in &analysis.functions {
+            for acq in &f.acquisitions {
+                let Some(to) = &acq.family else { continue };
+                for from in &acq.held {
+                    // Same-family re-acquisition is a per-file finding;
+                    // cross-family nesting is an ordering edge.
+                    if from != to {
+                        push_edge(Edge {
+                            from: from.clone(),
+                            to: to.clone(),
+                            file_idx: *idx,
+                            line: acq.line,
+                            col: acq.col,
+                            via: None,
+                        });
+                    }
+                }
+            }
+            for call in &f.held_calls {
+                if CALLEE_BLOCKLIST.contains(&call.callee.as_str()) {
+                    continue;
+                }
+                let Some(fams) = may.get(call.callee.as_str()) else {
+                    continue;
+                };
+                for to in fams {
+                    for from in &call.held {
+                        push_edge(Edge {
+                            from: from.clone(),
+                            to: to.clone(),
+                            file_idx: *idx,
+                            line: call.line,
+                            col: call.col,
+                            via: Some(call.callee.clone()),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // An edge A→B is a deadlock hazard when B already reaches A (a
+    // cycle, including A==B through a call). Report the edge that
+    // closes the cycle, at its site, so each participant can be fixed
+    // or justified where it occurs.
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in &edges {
+        adj.entry(e.from.as_str())
+            .or_default()
+            .insert(e.to.as_str());
+    }
+    let reaches = |start: &str, target: &str| -> bool {
+        if start == target {
+            return true;
+        }
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut stack = vec![start];
+        while let Some(node) = stack.pop() {
+            if !seen.insert(node) {
+                continue;
+            }
+            if let Some(nexts) = adj.get(node) {
+                for n in nexts {
+                    if *n == target {
+                        return true;
+                    }
+                    stack.push(n);
+                }
+            }
+        }
+        false
+    };
+    let mut findings = Vec::new();
+    for e in &edges {
+        if !reaches(&e.to, &e.from) {
+            continue;
+        }
+        let via = e
+            .via
+            .as_deref()
+            .map(|c| format!(" (via call to `{c}`)"))
+            .unwrap_or_default();
+        findings.push((
+            e.file_idx,
+            Finding {
+                rule: "lock-discipline",
+                severity: Severity::Error,
+                line: e.line,
+                col: e.col,
+                message: format!(
+                    "acquiring lock family `{}`{via} while holding `{}` closes an \
+                     acquisition-order cycle (deadlock potential)",
+                    e.to, e.from
+                ),
+                help: ORDER_HELP,
+            },
+        ));
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::scan;
+    use crate::structure::analyze;
+
+    fn rules_hit(src: &str) -> Vec<String> {
+        check_file(&analyze(&scan(src)))
+            .into_iter()
+            .map(|f| f.message)
+            .collect()
+    }
+
+    #[test]
+    fn unannotated_lock_and_atomic_fields_are_flagged() {
+        let msgs = rules_hit("struct S { state: Mutex<u32>, hits: AtomicU64 }");
+        assert_eq!(msgs.len(), 2, "{msgs:#?}");
+        assert!(msgs[0].contains("`state` has no lock-family"));
+        assert!(msgs[1].contains("`hits` has no role"));
+    }
+
+    #[test]
+    fn relaxed_flag_op_is_flagged_and_counter_is_not() {
+        let src = "\
+struct S {\n\
+    // aimq-atomic: flag -- publishes shutdown\n\
+    done: AtomicBool,\n\
+    // aimq-atomic: counter -- statistics\n\
+    hits: AtomicU64,\n\
+}\n\
+impl S {\n\
+    fn f(&self) {\n\
+        self.done.store(true, Ordering::Relaxed);\n\
+        self.hits.fetch_add(1, Ordering::Relaxed);\n\
+    }\n\
+    fn g(&self) -> bool { self.done.load(Ordering::Acquire) }\n\
+}\n";
+        let msgs = rules_hit(src);
+        // The Relaxed store trips the role rule AND breaks pairing
+        // (Acquire load with no Release store).
+        assert_eq!(msgs.len(), 2, "{msgs:#?}");
+        assert!(msgs[0].contains("flag-role atomic `done`"), "{msgs:#?}");
+        assert!(msgs[1].contains("no Release-side store"), "{msgs:#?}");
+    }
+
+    #[test]
+    fn paired_flag_is_clean() {
+        let src = "\
+struct S {\n\
+    // aimq-atomic: flag -- publishes shutdown\n\
+    done: AtomicBool,\n\
+}\n\
+impl S {\n\
+    fn set(&self) { self.done.store(true, Ordering::Release); }\n\
+    fn get(&self) -> bool { self.done.load(Ordering::Acquire) }\n\
+}\n";
+        assert!(rules_hit(src).is_empty(), "{:#?}", rules_hit(src));
+    }
+
+    #[test]
+    fn seqlock_version_word_licenses_relaxed_slots() {
+        let src = "\
+struct Cell {\n\
+    // aimq-atomic: seqlock -- version word\n\
+    version: AtomicU64,\n\
+    // aimq-atomic: seqlock -- payload ordered by version\n\
+    slot: AtomicU64,\n\
+}\n\
+impl Cell {\n\
+    fn write(&self, d: u64) {\n\
+        let v = self.version.load(Ordering::Relaxed);\n\
+        self.slot.fetch_add(d, Ordering::Relaxed);\n\
+        self.version.store(v + 2, Ordering::Release);\n\
+    }\n\
+    fn read(&self) -> u64 {\n\
+        let v = self.version.load(Ordering::Acquire);\n\
+        self.slot.load(Ordering::Relaxed)\n\
+    }\n\
+}\n";
+        assert!(rules_hit(src).is_empty(), "{:#?}", rules_hit(src));
+    }
+
+    #[test]
+    fn lone_relaxed_seqlock_op_is_flagged() {
+        let src = "\
+struct Cell {\n\
+    // aimq-atomic: seqlock -- version word\n\
+    version: AtomicU64,\n\
+}\n\
+impl Cell {\n\
+    fn peek(&self) -> u64 { self.version.load(Ordering::Relaxed) }\n\
+    fn bump(&self) { self.version.store(1, Ordering::Release); }\n\
+    fn read(&self) -> u64 { self.version.load(Ordering::Acquire) }\n\
+}\n";
+        let msgs = rules_hit(src);
+        assert_eq!(msgs.len(), 1, "{msgs:#?}");
+        assert!(msgs[0].contains("no Acquire/Release op or fence"));
+    }
+
+    #[test]
+    fn same_family_reacquisition_is_flagged() {
+        let src = "\
+struct S {\n\
+    // aimq-lock: family(meta) -- guards metadata\n\
+    state: Mutex<u32>,\n\
+}\n\
+impl S {\n\
+    fn f(&self) {\n\
+        let a = lock(&self.state);\n\
+        let b = lock(&self.state);\n\
+    }\n\
+}\n";
+        let msgs = rules_hit(src);
+        assert_eq!(msgs.len(), 1, "{msgs:#?}");
+        assert!(msgs[0].contains("re-acquiring lock family `meta`"));
+    }
+
+    fn analyses(srcs: &[&str]) -> Vec<FileAnalysis> {
+        srcs.iter().map(|s| analyze(&scan(s))).collect()
+    }
+
+    #[test]
+    fn cross_file_acquisition_order_cycle_is_detected() {
+        // File 0 takes a then b; file 1 takes b then a.
+        let a_then_b = "\
+struct S {\n\
+    // aimq-lock: family(a) -- left\n\
+    left: Mutex<u32>,\n\
+    // aimq-lock: family(b) -- right\n\
+    right: Mutex<u32>,\n\
+}\n\
+impl S {\n\
+    fn fwd(&self) { let l = lock(&self.left); let r = lock(&self.right); }\n\
+}\n";
+        let b_then_a = "\
+struct T {\n\
+    // aimq-lock: family(b) -- right\n\
+    right: Mutex<u32>,\n\
+    // aimq-lock: family(a) -- left\n\
+    left: Mutex<u32>,\n\
+}\n\
+impl T {\n\
+    fn rev(&self) { let r = lock(&self.right); let l = lock(&self.left); }\n\
+}\n";
+        let files = analyses(&[a_then_b, b_then_a]);
+        let refs: Vec<(usize, &FileAnalysis)> =
+            files.iter().enumerate().map(|(i, a)| (i, a)).collect();
+        let found = check_workspace(&refs);
+        assert_eq!(found.len(), 2, "{found:#?}");
+        assert!(found.iter().any(|(i, _)| *i == 0));
+        assert!(found.iter().any(|(i, _)| *i == 1));
+        assert!(found[0].1.message.contains("acquisition-order cycle"));
+    }
+
+    #[test]
+    fn consistent_order_is_clean_and_indirect_cycles_are_caught() {
+        let consistent = "\
+struct S {\n\
+    // aimq-lock: family(a) -- left\n\
+    left: Mutex<u32>,\n\
+    // aimq-lock: family(b) -- right\n\
+    right: Mutex<u32>,\n\
+}\n\
+impl S {\n\
+    fn one(&self) { let l = lock(&self.left); let r = lock(&self.right); }\n\
+    fn two(&self) { let l = lock(&self.left); let r = lock(&self.right); }\n\
+}\n";
+        let files = analyses(&[consistent]);
+        let refs: Vec<(usize, &FileAnalysis)> =
+            files.iter().enumerate().map(|(i, a)| (i, a)).collect();
+        assert!(check_workspace(&refs).is_empty());
+
+        // Indirect: `helper` acquires b; `outer` calls it holding a,
+        // while `other` acquires a holding b.
+        let indirect = "\
+struct S {\n\
+    // aimq-lock: family(a) -- left\n\
+    left: Mutex<u32>,\n\
+    // aimq-lock: family(b) -- right\n\
+    right: Mutex<u32>,\n\
+}\n\
+impl S {\n\
+    fn helper(&self) { let r = lock(&self.right); }\n\
+    fn outer(&self) { let l = lock(&self.left); self.helper(); }\n\
+    fn other(&self) { let r = lock(&self.right); let l = lock(&self.left); }\n\
+}\n";
+        let files = analyses(&[indirect]);
+        let refs: Vec<(usize, &FileAnalysis)> =
+            files.iter().enumerate().map(|(i, a)| (i, a)).collect();
+        let found = check_workspace(&refs);
+        assert!(
+            found
+                .iter()
+                .any(|(_, f)| f.message.contains("via call to `helper`")),
+            "{found:#?}"
+        );
+    }
+
+    #[test]
+    fn blocking_call_under_guard_is_flagged() {
+        let src = "\
+struct S {\n\
+    // aimq-lock: family(meta) -- guards metadata\n\
+    state: Mutex<u32>,\n\
+}\n\
+impl S {\n\
+    fn f(&self) {\n\
+        let s = lock(&self.state);\n\
+        self.inner.try_query(q);\n\
+    }\n\
+}\n";
+        let msgs = rules_hit(src);
+        assert_eq!(msgs.len(), 1, "{msgs:#?}");
+        assert!(msgs[0].contains("held across blocking call `try_query`"));
+    }
+}

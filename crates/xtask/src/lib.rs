@@ -22,16 +22,39 @@
 //!   leak into them. Offline timing measurements (training-phase
 //!   stopwatches) carry an `aimq-lint: allow(wallclock)` justification.
 //!
+//! With the concurrent runtime (worker pool, striped cache, atomic
+//! stats), three structure-aware families joined (see the `structure`
+//! module for the analysis engine):
+//!
+//! - **L5 lock-discipline**: every owned `Mutex` belongs to a named
+//!   lock family (`// aimq-lock: family(..) -- why`); acquisitions are
+//!   tracked guard-by-guard, and the workspace-wide family graph must
+//!   stay acyclic — plus no guard may be held across a blocking call
+//!   (`try_query`, `Condvar::wait`, channel `recv`).
+//! - **L6 atomics-audit**: every atomic field declares a role
+//!   (`// aimq-atomic: counter|flag|seqlock -- why`);
+//!   `Ordering::Relaxed` is legal only for counters (or fenced seqlock
+//!   payloads), and flag/seqlock roles must pair Acquire with Release.
+//! - **L7 layering**: cross-crate imports and `Cargo.toml` dependencies
+//!   must follow the crate DAG
+//!   (catalog → storage → {afd, sim} → rock → core → serve → bins).
+//!
 //! Diagnostics are rustc-style with file:line:col spans; per-line
 //! suppressions use `// aimq-lint: allow(<rule>) -- <justification>`
-//! and the justification is mandatory. The pass is a hand-rolled
-//! lexical scan (`source` module) because the offline build
-//! environment cannot fetch `syn`.
+//! and the justification is mandatory. `--json` emits the same
+//! findings machine-readably (see the `json` module), and
+//! `--explain <rule>` prints the registry entry. The pass is a
+//! hand-rolled lexical scan (`source` module) because the offline
+//! build environment cannot fetch `syn`.
 
+pub mod concurrency;
+pub mod json;
+pub mod layering;
 pub mod rules;
 pub mod source;
+pub mod structure;
 
-pub use rules::{Finding, RuleSet, Severity, KNOWN_RULES};
+pub use rules::{rule_info, Finding, RuleInfo, RuleSet, Severity, KNOWN_RULES, RULES};
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -52,7 +75,8 @@ pub const DETERMINISM_CRATES: &[&str] = &["afd", "sim", "rock", "core", "serve"]
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
     /// Rule id (`panic`, `indexing`, `float-ordering`, `hashmap`,
-    /// `wallclock`, `lint-allow`).
+    /// `wallclock`, `lock-discipline`, `atomics-audit`, `layering`,
+    /// `lint-allow`).
     pub rule: String,
     /// Error or warning.
     pub severity: Severity,
@@ -97,8 +121,15 @@ impl LintReport {
     }
 }
 
-/// Lint a workspace-shaped tree rooted at `root`: every `.rs` file
-/// under `crates/<name>/src/` for the crates the rules govern.
+/// Lint a workspace-shaped tree rooted at `root`.
+///
+/// Pass 1 walks every `.rs` file under `crates/<name>/src/` (except
+/// `xtask` itself, whose docs quote directive syntax verbatim), runs
+/// the per-file rules the crate's [`RuleSet`] selects, and retains the
+/// structural facts. Pass 2 runs the workspace-wide checks over those
+/// facts: the cross-file lock-ordering graph (L5) and the crate DAG
+/// (L7), with pass-2 findings filtered through each file's own
+/// suppressions.
 pub fn lint_root(root: &Path) -> std::io::Result<LintReport> {
     let mut report = LintReport::default();
     let crates_dir = root.join("crates");
@@ -110,15 +141,24 @@ pub fn lint_root(root: &Path) -> std::io::Result<LintReport> {
         }
     }
     names.sort();
-    for name in names {
+    names.retain(|n| n != "xtask");
+
+    struct Entry {
+        rel: PathBuf,
+        crate_name: String,
+        scanned: source::ScannedFile,
+        analysis: structure::FileAnalysis,
+        lines: Vec<String>,
+    }
+    let mut entries: Vec<Entry> = Vec::new();
+
+    for name in &names {
         let ruleset = RuleSet {
             panic_and_ordering: PANIC_CRATES.contains(&name.as_str()),
             determinism: DETERMINISM_CRATES.contains(&name.as_str()),
+            concurrency: PANIC_CRATES.contains(&name.as_str()),
         };
-        if !ruleset.panic_and_ordering && !ruleset.determinism {
-            continue;
-        }
-        let src_dir = crates_dir.join(&name).join("src");
+        let src_dir = crates_dir.join(name).join("src");
         if !src_dir.is_dir() {
             continue;
         }
@@ -128,9 +168,78 @@ pub fn lint_root(root: &Path) -> std::io::Result<LintReport> {
         for file in files {
             let text = std::fs::read_to_string(&file)?;
             let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
-            lint_file(&text, &rel, ruleset, &mut report);
+            let scanned = source::scan(&text);
+            let analysis = structure::analyze(&scanned);
+            let lines: Vec<String> = text.lines().map(|l| l.trim_end().to_string()).collect();
+            if ruleset.panic_and_ordering || ruleset.determinism {
+                lint_scanned(&scanned, &analysis, &lines, &rel, ruleset, &mut report);
+            }
+            entries.push(Entry {
+                rel,
+                crate_name: name.clone(),
+                scanned,
+                analysis,
+                lines,
+            });
         }
     }
+
+    // Pass 2a: workspace lock-ordering graph over the concurrency-scoped
+    // crates.
+    let conc: Vec<(usize, &structure::FileAnalysis)> = entries
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| PANIC_CRATES.contains(&e.crate_name.as_str()))
+        .map(|(i, e)| (i, &e.analysis))
+        .collect();
+    let mut late: Vec<(usize, Finding)> = concurrency::check_workspace(&conc);
+
+    // Pass 2b: crate DAG from manifests + imports, over every aimq
+    // crate (bins and data included).
+    let manifests = layering::scan_manifests(root, &names)?;
+    for mf in manifests.findings {
+        report.diagnostics.push(Diagnostic {
+            rule: mf.rule.to_string(),
+            severity: Severity::Error,
+            path: mf.path,
+            line: mf.line,
+            col: 1,
+            message: mf.message,
+            snippet: mf.snippet,
+            help: mf.help.to_string(),
+        });
+    }
+    let imports: Vec<(usize, &str, &structure::FileAnalysis)> = entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (i, e.crate_name.as_str(), &e.analysis))
+        .collect();
+    late.extend(layering::check_imports(&imports, &manifests.declared));
+
+    for (idx, finding) in late {
+        let entry = &entries[idx];
+        if entry.scanned.is_allowed(finding.rule, finding.line) {
+            continue;
+        }
+        report.diagnostics.push(Diagnostic {
+            rule: finding.rule.to_string(),
+            severity: finding.severity,
+            path: entry.rel.clone(),
+            line: finding.line,
+            col: finding.col,
+            message: finding.message,
+            snippet: entry
+                .lines
+                .get(finding.line.saturating_sub(1))
+                .cloned()
+                .unwrap_or_default(),
+            help: finding.help.to_string(),
+        });
+    }
+
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule)));
     Ok(report)
 }
 
@@ -148,13 +257,30 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 }
 
 /// Lint one file's text under `ruleset`, appending to `report`.
+/// Standalone entry point (tests, single-file use); [`lint_root`]
+/// drives the shared implementation directly so it can retain the
+/// structural facts for the workspace passes.
 pub fn lint_file(text: &str, rel_path: &Path, ruleset: RuleSet, report: &mut LintReport) {
     let scanned = source::scan(text);
-    let lines: Vec<&str> = text.lines().collect();
+    let analysis = structure::analyze(&scanned);
+    let lines: Vec<String> = text.lines().map(|l| l.trim_end().to_string()).collect();
+    lint_scanned(&scanned, &analysis, &lines, rel_path, ruleset, report);
+}
+
+/// Per-file pass over pre-scanned facts: directive hygiene, the
+/// token-level rules (L1–L4), and the file-local halves of L5/L6.
+fn lint_scanned(
+    scanned: &source::ScannedFile,
+    analysis: &structure::FileAnalysis,
+    lines: &[String],
+    rel_path: &Path,
+    ruleset: RuleSet,
+    report: &mut LintReport,
+) {
     let snippet = |line: usize| -> String {
         lines
             .get(line.saturating_sub(1))
-            .map(|l| l.trim_end().to_string())
+            .cloned()
             .unwrap_or_default()
     };
 
@@ -194,7 +320,11 @@ pub fn lint_file(text: &str, rel_path: &Path, ruleset: RuleSet, report: &mut Lin
         }
     }
 
-    for finding in rules::check(&scanned, ruleset) {
+    let mut findings = rules::check(scanned, ruleset);
+    if ruleset.concurrency {
+        findings.extend(concurrency::check_file(analysis));
+    }
+    for finding in findings {
         if scanned.is_allowed(finding.rule, finding.line) {
             continue;
         }
@@ -261,6 +391,7 @@ fn excused(xs: &[f64]) -> f64 {
             RuleSet {
                 panic_and_ordering: true,
                 determinism: true,
+                concurrency: true,
             },
             &mut report,
         );

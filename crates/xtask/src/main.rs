@@ -4,6 +4,9 @@
 //! cargo xtask lint                 # lint the workspace, exit 1 on errors
 //! cargo xtask lint --deny-warnings # promote warnings (indexing) too
 //! cargo xtask lint --root DIR      # lint a workspace-shaped tree (fixtures)
+//! cargo xtask lint --json          # machine-readable findings on stdout
+//! cargo xtask lint --explain RULE  # print a rule's rationale and remedy
+//! cargo xtask annotate lint.json   # GitHub ::error annotations from --json
 //! ```
 
 use std::path::PathBuf;
@@ -13,6 +16,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => lint(args.collect()),
+        Some("annotate") => annotate(args.collect()),
         Some(other) => {
             eprintln!("unknown xtask command `{other}`");
             usage();
@@ -26,7 +30,33 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: cargo xtask lint [--root DIR] [--deny-warnings]");
+    eprintln!(
+        "usage: cargo xtask lint [--root DIR] [--deny-warnings] [--json] [--explain RULE]\n\
+         \x20      cargo xtask annotate <lint.json>"
+    );
+}
+
+fn explain(rule: &str) -> ExitCode {
+    let Some(info) = xtask::rule_info(rule) else {
+        eprintln!(
+            "unknown rule `{rule}` (known: {})",
+            xtask::RULES
+                .iter()
+                .map(|r| r.id)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::from(2);
+    };
+    let severity = match info.severity {
+        xtask::Severity::Error => "error",
+        xtask::Severity::Warning => "warning",
+    };
+    println!("aimq::{} ({severity})", info.id);
+    println!("  catches:   {}", info.summary);
+    println!("  rationale: {}", info.rationale);
+    println!("  remedy:    {}", info.remedy);
+    ExitCode::SUCCESS
 }
 
 fn lint(args: Vec<String>) -> ExitCode {
@@ -36,6 +66,7 @@ fn lint(args: Vec<String>) -> ExitCode {
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));
     let mut deny_warnings = false;
+    let mut json = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -47,6 +78,14 @@ fn lint(args: Vec<String>) -> ExitCode {
                 }
             },
             "--deny-warnings" => deny_warnings = true,
+            "--json" => json = true,
+            "--explain" => match it.next() {
+                Some(rule) => return explain(&rule),
+                None => {
+                    eprintln!("--explain requires a rule id");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("unknown flag `{other}`");
                 usage();
@@ -63,23 +102,61 @@ fn lint(args: Vec<String>) -> ExitCode {
         }
     };
 
-    for diag in &report.diagnostics {
-        print!("{}", xtask::render(diag));
-        println!();
-    }
-    let (errors, warnings) = (report.errors(), report.warnings());
-    if errors > 0 || warnings > 0 {
-        println!(
-            "aimq-lint: {errors} error{}, {warnings} warning{}",
-            if errors == 1 { "" } else { "s" },
-            if warnings == 1 { "" } else { "s" },
-        );
+    if json {
+        println!("{}", xtask::json::to_json(&report));
     } else {
-        println!("aimq-lint: clean");
+        for diag in &report.diagnostics {
+            print!("{}", xtask::render(diag));
+            println!();
+        }
+        let (errors, warnings) = (report.errors(), report.warnings());
+        if errors > 0 || warnings > 0 {
+            println!(
+                "aimq-lint: {errors} error{}, {warnings} warning{}",
+                if errors == 1 { "" } else { "s" },
+                if warnings == 1 { "" } else { "s" },
+            );
+        } else {
+            println!("aimq-lint: clean");
+        }
     }
     if report.failed(deny_warnings) {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Turn `--json` output into GitHub Actions annotations. Exit status
+/// reflects only I/O and parse health — CI fails via the lint step
+/// itself, so annotating never masks (or doubles) that signal.
+fn annotate(args: Vec<String>) -> ExitCode {
+    let [path] = args.as_slice() else {
+        eprintln!("usage: cargo xtask annotate <lint.json>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("error: cannot read {path}: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let doc = match xtask::json::parse(&text) {
+        Ok(doc) => doc,
+        Err(err) => {
+            eprintln!("error: {path} is not valid lint JSON: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    match xtask::json::annotations(&doc) {
+        Ok(ann) => {
+            print!("{ann}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::from(2)
+        }
     }
 }

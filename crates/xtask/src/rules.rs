@@ -6,7 +6,11 @@
 //! | `indexing` | warning | seven library crates | direct `expr[...]` indexing/slicing |
 //! | `float-ordering` | error | seven library crates | `.partial_cmp(` calls on scores |
 //! | `hashmap` | error | `afd`, `sim`, `rock`, `core`, `serve` | any `HashMap`/`HashSet` use |
-//! | `wallclock` | error | `afd`, `sim`, `rock`, `core`, `serve` | `std::thread::sleep(` and `Instant::now()` |
+//! | `wallclock` | error | `afd`, `sim`, `rock`, `core`, `serve` | `thread::sleep(`, `Instant::now()`, `SystemTime::now()`, `.elapsed()` |
+//! | `lock-discipline` | error | seven library crates | unannotated lock fields, unresolvable/nested acquisitions that close ordering cycles, guards held across blocking calls |
+//! | `atomics-audit` | error | seven library crates | atomic fields without a role annotation, `Relaxed` outside `counter` roles, unpaired Acquire/Release |
+//! | `layering` | error | all aimq crates | upward or undeclared cross-crate dependencies and imports |
+//! | `lint-allow` | error | everywhere linted | malformed, unjustified, or unknown-rule suppression directives |
 //!
 //! `indexing` is warn-level by default — mirroring clippy's
 //! allow-by-default `indexing_slicing` — because invariant-backed
@@ -15,10 +19,18 @@
 //!
 //! `wallclock` (L4) exists because the serving runtime's tests replay
 //! deadlines and backoff schedules over `VirtualClock` ticks; a stray
-//! `thread::sleep` or `Instant::now()` in determinism-scoped code makes
-//! those replays timing-dependent. Method calls named `now`/`sleep` on
-//! other receivers (e.g. `clock.now()`) are not flagged — only the
-//! qualified `Instant::now` / `thread::sleep` forms.
+//! `thread::sleep`, `Instant::now()`, `SystemTime::now()`, or
+//! `.elapsed()` call in determinism-scoped code makes those replays
+//! timing-dependent. Method calls named `now`/`sleep` on other
+//! receivers (e.g. `clock.now()`) are not flagged — only the qualified
+//! `Instant::now` / `SystemTime::now` / `thread::sleep` forms plus the
+//! `.elapsed()` method, which only time sources provide.
+//!
+//! The structure-aware families L5 `lock-discipline` and L6
+//! `atomics-audit` live in [`crate::concurrency`] (facts from
+//! [`crate::structure`]); L7 `layering` lives in [`crate::layering`].
+//! They are listed here so suppression, `--explain`, and the doc table
+//! stay in one registry.
 
 use crate::source::ScannedFile;
 
@@ -57,6 +69,10 @@ pub struct RuleSet {
     /// (`thread::sleep` / `Instant::now`): both guard the same property
     /// — replayability of results — so they share a scope.
     pub determinism: bool,
+    /// L5 lock-discipline + L6 atomics-audit (structure-aware checks in
+    /// [`crate::concurrency`]). Shares the L1 scope: any library crate
+    /// may grow shared state.
+    pub concurrency: bool,
 }
 
 /// Keywords that can legitimately precede `[` without it being an
@@ -132,13 +148,17 @@ pub fn check(file: &ScannedFile, rules: RuleSet) -> Vec<Finding> {
                            `// aimq-lint: allow(float-ordering) -- <why NaN cannot occur>`",
                 });
             }
-            // Direct indexing `expr[...]` (warn-level).
+            // Direct indexing `expr[...]` (warn-level). A lifetime ident
+            // before the bracket (`&'a [u8]`) is a slice type, not an
+            // indexing expression.
             if t.text == "["
                 && prev.is_some_and(|p| {
                     (p.is_ident && !NON_INDEX_KEYWORDS.contains(&p.text.as_str()))
                         || p.text == ")"
                         || p.text == "]"
                 })
+                && !(prev.is_some_and(|p| p.is_ident)
+                    && k.checked_sub(2).is_some_and(|p2| toks[p2].text == "'"))
             {
                 findings.push(Finding {
                     rule: "indexing",
@@ -166,16 +186,43 @@ pub fn check(file: &ScannedFile, rules: RuleSet) -> Vec<Finding> {
                         && toks.get(i + 2).is_some_and(|c| c.text == ":")
                 })
             };
-            if t.text == "now" && next.is_some_and(|n| n.text == "(") && qualified_by("Instant") {
+            if t.text == "now"
+                && next.is_some_and(|n| n.text == "(")
+                && (qualified_by("Instant") || qualified_by("SystemTime"))
+            {
                 findings.push(Finding {
                     rule: "wallclock",
                     severity: Severity::Error,
                     line: t.line,
                     col: t.col,
-                    message: "`Instant::now()` reads the wall clock in a determinism-scoped crate"
-                        .to_string(),
+                    message: format!(
+                        "`{}::now()` reads the wall clock in a determinism-scoped crate",
+                        if qualified_by("Instant") {
+                            "Instant"
+                        } else {
+                            "SystemTime"
+                        }
+                    ),
                     help: "thread a `VirtualClock` (or tick counter) through instead, or justify \
                            with `// aimq-lint: allow(wallclock) -- <why timing never affects \
+                           results>`",
+                });
+            }
+            // `.elapsed()` — only time sources (`Instant`, `SystemTime`)
+            // provide it, so any receiver is a wall-clock read.
+            if t.text == "elapsed"
+                && prev.is_some_and(|p| p.text == ".")
+                && next.is_some_and(|n| n.text == "(")
+            {
+                findings.push(Finding {
+                    rule: "wallclock",
+                    severity: Severity::Error,
+                    line: t.line,
+                    col: t.col,
+                    message: "`.elapsed()` measures real time in a determinism-scoped crate"
+                        .to_string(),
+                    help: "count `VirtualClock` ticks instead, or justify with \
+                           `// aimq-lint: allow(wallclock) -- <why timing never affects \
                            results>`",
                 });
             }
@@ -220,7 +267,136 @@ pub const KNOWN_RULES: &[&str] = &[
     "float-ordering",
     "hashmap",
     "wallclock",
+    "lock-discipline",
+    "atomics-audit",
+    "layering",
 ];
+
+/// One registry entry backing `cargo xtask lint --explain <rule>` and
+/// the doc-drift self-test over the module-doc table above.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule id as it appears in findings and `allow(...)` lists.
+    pub id: &'static str,
+    /// Default severity.
+    pub severity: Severity,
+    /// One-line description (what it catches).
+    pub summary: &'static str,
+    /// Why the rule exists in this workspace.
+    pub rationale: &'static str,
+    /// How to fix or justify a finding.
+    pub remedy: &'static str,
+}
+
+/// The full rule registry: every id that can appear in a diagnostic,
+/// including the `lint-allow` meta-rule for malformed suppressions.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "panic",
+        severity: Severity::Error,
+        summary: "`.unwrap()`, `.expect(`, and panicking macros in library crates",
+        rationale: "the engine answers imprecise queries over unreliable web sources; a panic \
+                    in library code turns one malformed page or empty probe into a crash of \
+                    the whole mining or serving run. Failures must flow through the AimqError \
+                    taxonomy so callers can degrade gracefully.",
+        remedy: "propagate with `?`, `ok_or`, or `unwrap_or`; for true invariants, justify \
+                 with `// aimq-lint: allow(panic) -- <the invariant>`.",
+    },
+    RuleInfo {
+        id: "indexing",
+        severity: Severity::Warning,
+        summary: "direct `expr[...]` indexing or slicing",
+        rationale: "out-of-range indexing panics; most AIMQ hot paths index by invariant \
+                    (attribute counts fixed at catalog build), so this stays warn-level, but \
+                    audits promote it with --deny-warnings.",
+        remedy: "prefer `.get()`/`.get_mut()` with error propagation where the index is not \
+                 invariant-backed.",
+    },
+    RuleInfo {
+        id: "float-ordering",
+        severity: Severity::Error,
+        summary: "`.partial_cmp(` on similarity/importance scores",
+        rationale: "NaN makes `partial_cmp` return None, and `unwrap_or(Equal)` silently \
+                    reshuffles rankings — the paper's whole output is a ranked list, so \
+                    ordering must be total.",
+        remedy: "use `f64::total_cmp` or `aimq_catalog::OrderedScore`; justify exceptions \
+                 with `// aimq-lint: allow(float-ordering) -- <why NaN cannot occur>`.",
+    },
+    RuleInfo {
+        id: "hashmap",
+        severity: Severity::Error,
+        summary: "`HashMap`/`HashSet` in mining/ranking/answering crates",
+        rationale: "hash iteration order varies run to run; AFD mining, similarity tables, \
+                    and answer ranking must be byte-for-byte reproducible.",
+        remedy: "use BTreeMap/BTreeSet, or keep the map and justify with \
+                 `// aimq-lint: allow(hashmap) -- <the keyed sort that restores order>`.",
+    },
+    RuleInfo {
+        id: "wallclock",
+        severity: Severity::Error,
+        summary: "`thread::sleep`, `Instant::now()`, `SystemTime::now()`, or `.elapsed()` in \
+                  determinism-scoped crates",
+        rationale: "deadline and backoff behavior replays over VirtualClock ticks in tests; \
+                    real time leaking into those crates makes replays timing-dependent and \
+                    flaky.",
+        remedy: "thread a `VirtualClock` or tick counter through; justify offline stopwatches \
+                 with `// aimq-lint: allow(wallclock) -- <why timing never affects results>`.",
+    },
+    RuleInfo {
+        id: "lock-discipline",
+        severity: Severity::Error,
+        summary: "lock fields without a family, unresolvable or cycle-closing acquisitions, \
+                  and guards held across blocking calls",
+        rationale: "the concurrent runtime shares striped caches, admission queues, and \
+                    breaker state across workers; deadlocks from inconsistent acquisition \
+                    order or probes under a guard only surface under load, so the ordering \
+                    graph is checked statically across the whole workspace.",
+        remedy: "declare `// aimq-lock: family(<name>) -- <why>` on each owned Mutex, mark \
+                 indirect acquisitions with `// aimq-lock: use(<name>)`, keep one global \
+                 acquisition order, and scope guards so they drop before blocking calls.",
+    },
+    RuleInfo {
+        id: "atomics-audit",
+        severity: Severity::Error,
+        summary: "atomic fields without a role, `Relaxed` outside counter roles, and \
+                  unpaired Acquire/Release",
+        rationale: "~40 `Ordering::Relaxed` sites entered with the concurrent runtime; \
+                    relaxed ops are correct for statistics counters but silently wrong for \
+                    flags and seqlock payloads, and the difference is invisible in review \
+                    without a declared intent.",
+        remedy: "annotate each atomic with `// aimq-atomic: counter|flag|seqlock -- <why>`; \
+                 flags pair Release stores with Acquire loads; seqlock payloads stay Relaxed \
+                 only under a version-word fence in the same function.",
+    },
+    RuleInfo {
+        id: "layering",
+        severity: Severity::Error,
+        summary: "cross-crate dependencies or imports that go up the crate DAG, or that \
+                  Cargo.toml never declared",
+        rationale: "the workspace layers catalog → storage → {afd, sim} → rock → core → \
+                    {serve, cli, eval, bench}; an upward import (storage reaching into \
+                    serve) couples probe plumbing to policy and blocks reuse of the lower \
+                    layers.",
+        remedy: "move the shared type down (usually into catalog or storage), or justify \
+                 with `# aimq-lint: allow(layering) -- <why>` on the Cargo.toml line / \
+                 `// aimq-lint: allow(layering) -- <why>` on the import.",
+    },
+    RuleInfo {
+        id: "lint-allow",
+        severity: Severity::Error,
+        summary: "malformed, unjustified, or unknown-rule suppression directives",
+        rationale: "an allow without a justification is indistinguishable from a shrug, and \
+                    an allow naming a rule that does not exist suppresses nothing while \
+                    looking load-bearing.",
+        remedy: "write `// aimq-lint: allow(<known-rule>) -- <justification>` with a \
+                 non-empty justification after the `--`.",
+    },
+];
+
+/// Look up a rule by id (for `--explain`).
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
 
 #[cfg(test)]
 mod tests {
@@ -230,6 +406,7 @@ mod tests {
     const ALL: RuleSet = RuleSet {
         panic_and_ordering: true,
         determinism: true,
+        concurrency: true,
     };
 
     fn rules_hit(src: &str) -> Vec<&'static str> {
@@ -275,6 +452,8 @@ mod tests {
         assert!(rules_hit("fn f(xs: [f64; 3]) { let [a, b, c] = xs; }").is_empty());
         assert!(rules_hit("fn f() { for x in [1, 2] {} }").is_empty());
         assert!(rules_hit("fn f() { let v = vec![1, 2]; }").is_empty());
+        // Slice types behind a lifetime are types, not indexing.
+        assert!(rules_hit("fn f<'a>(buf: &'a [u8]) -> &'a [u8] { buf }").is_empty());
     }
 
     #[test]
@@ -284,6 +463,7 @@ mod tests {
         let only_panic = RuleSet {
             panic_and_ordering: true,
             determinism: false,
+            concurrency: false,
         };
         assert!(check(&scan(src), only_panic).is_empty());
     }
@@ -317,8 +497,54 @@ mod tests {
         let only_panic = RuleSet {
             panic_and_ordering: true,
             determinism: false,
+            concurrency: false,
         };
         assert!(check(&scan("fn f() { Instant::now(); }"), only_panic).is_empty());
+    }
+
+    #[test]
+    fn wallclock_flags_systemtime_and_elapsed() {
+        assert_eq!(
+            rules_hit("fn f() { let t = SystemTime::now(); }"),
+            vec!["wallclock"]
+        );
+        assert_eq!(
+            rules_hit("fn f(start: Instant) { let d = start.elapsed(); }"),
+            vec!["wallclock"]
+        );
+        // `elapsed` as a plain name (field, fn def) is not a call.
+        assert!(rules_hit("fn elapsed(x: u64) -> u64 { x }").is_empty());
+        assert!(rules_hit("struct S { elapsed: u64 }").is_empty());
+    }
+
+    #[test]
+    fn registry_covers_known_rules_and_doc_table() {
+        // Every suppressible rule has a registry entry, and the
+        // registry's extra ids are exactly the non-suppressible
+        // meta-rules.
+        for id in KNOWN_RULES {
+            assert!(
+                rule_info(id).is_some(),
+                "KNOWN_RULES id `{id}` not in RULES"
+            );
+        }
+        let extra: Vec<&str> = RULES
+            .iter()
+            .map(|r| r.id)
+            .filter(|id| !KNOWN_RULES.contains(id))
+            .collect();
+        assert_eq!(extra, vec!["lint-allow"], "unexpected registry-only rules");
+        // Doc-drift guard: the module-doc table lists every registered
+        // rule id as a `| `id` |` row.
+        let doc = include_str!("rules.rs");
+        for rule in RULES {
+            let row = format!("//! | `{}` |", rule.id);
+            assert!(
+                doc.contains(&row),
+                "rules.rs module-doc table is missing a row for `{}`",
+                rule.id
+            );
+        }
     }
 
     #[test]

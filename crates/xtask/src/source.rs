@@ -46,6 +46,10 @@ pub struct ScannedFile {
     pub test_regions: Vec<(usize, usize)>,
     /// Parsed suppression directives.
     pub allows: Vec<AllowDirective>,
+    /// Parsed `aimq-lock:` family/use annotations.
+    pub lock_directives: Vec<LockDirective>,
+    /// Parsed `aimq-atomic:` role annotations.
+    pub atomic_directives: Vec<AtomicDirective>,
     /// Malformed directives (missing justification, bad syntax).
     pub bad_directives: Vec<(usize, String)>,
 }
@@ -63,21 +67,101 @@ pub struct AllowDirective {
     pub justification: String,
 }
 
+/// What an `aimq-lock:` annotation asserts (L5 lock discipline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockAnnotation {
+    /// `family(<name>)` on a `Mutex` field declaration: every guard of
+    /// that field belongs to the named workspace-global lock family.
+    Family(String),
+    /// `use(<name>)` on an acquisition site whose receiver the scanner
+    /// cannot trace back to an annotated field (e.g. a local borrowed
+    /// out of a helper): asserts the acquired family explicitly.
+    Use(String),
+}
+
+/// A parsed `// aimq-lock: family(..) -- why` / `// aimq-lock: use(..)`.
+#[derive(Debug, Clone)]
+pub struct LockDirective {
+    /// Line the directive text sits on (1-based).
+    pub line: usize,
+    /// The line of code the annotation applies to (1-based).
+    pub target_line: usize,
+    /// Family declaration or acquisition-site assertion.
+    pub annotation: LockAnnotation,
+    /// Justification text after `--` (required for `family`).
+    pub justification: String,
+}
+
+/// Role taxonomy for atomic fields (L6 atomics audit). The role decides
+/// which memory orderings the lint accepts on the field's operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomicRole {
+    /// Monotone, independently meaningful tally: `Relaxed` everywhere
+    /// is correct (per-location modification order is all that matters).
+    Counter,
+    /// Cross-thread publication latch: stores must be `Release`-or-
+    /// stronger, loads `Acquire`-or-stronger; `Relaxed` is an error.
+    Flag,
+    /// Seqlock protocol word (or the slots it versions): `Relaxed` is
+    /// permitted only alongside an Acquire/Release op or fence in the
+    /// same function, and the field must exhibit an Acquire/Release
+    /// pair somewhere in its file.
+    Seqlock,
+}
+
+impl AtomicRole {
+    /// Parse a role keyword.
+    pub fn parse(s: &str) -> Option<AtomicRole> {
+        match s {
+            "counter" => Some(AtomicRole::Counter),
+            "flag" => Some(AtomicRole::Flag),
+            "seqlock" => Some(AtomicRole::Seqlock),
+            _ => None,
+        }
+    }
+
+    /// The keyword form used in annotations.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AtomicRole::Counter => "counter",
+            AtomicRole::Flag => "flag",
+            AtomicRole::Seqlock => "seqlock",
+        }
+    }
+}
+
+/// A parsed `// aimq-atomic: <role> -- justification` annotation.
+#[derive(Debug, Clone)]
+pub struct AtomicDirective {
+    /// Line the directive text sits on (1-based).
+    pub line: usize,
+    /// The line of code the annotation applies to (1-based).
+    pub target_line: usize,
+    /// Declared role.
+    pub role: AtomicRole,
+    /// Justification text after `--`.
+    pub justification: String,
+}
+
 const DIRECTIVE: &str = "aimq-lint:";
+const LOCK_DIRECTIVE: &str = "aimq-lock:";
+const ATOMIC_DIRECTIVE: &str = "aimq-atomic:";
 
 /// Scan `text` into classes, tokens, test regions and suppressions.
 pub fn scan(text: &str) -> ScannedFile {
     let classes = classify(text);
     let tokens = tokenize(text, &classes);
     let test_regions = find_test_regions(&tokens);
-    let (allows, bad_directives) = collect_directives(text, &classes);
+    let directives = collect_directives(text, &classes);
     ScannedFile {
         text: text.to_string(),
         classes,
         tokens,
         test_regions,
-        allows,
-        bad_directives,
+        allows: directives.allows,
+        lock_directives: directives.locks,
+        atomic_directives: directives.atomics,
+        bad_directives: directives.bad,
     }
 }
 
@@ -368,12 +452,21 @@ fn match_attr(tokens: &[Token], k: usize, inner: &[&str]) -> Option<usize> {
     (tokens.get(close)?.text == "]").then_some(close + 1)
 }
 
-fn collect_directives(
-    text: &str,
-    classes: &[ByteClass],
-) -> (Vec<AllowDirective>, Vec<(usize, String)>) {
-    let mut allows = Vec::new();
-    let mut bad = Vec::new();
+/// Everything `collect_directives` extracts from the comment channel.
+struct Directives {
+    allows: Vec<AllowDirective>,
+    locks: Vec<LockDirective>,
+    atomics: Vec<AtomicDirective>,
+    bad: Vec<(usize, String)>,
+}
+
+fn collect_directives(text: &str, classes: &[ByteClass]) -> Directives {
+    let mut out = Directives {
+        allows: Vec::new(),
+        locks: Vec::new(),
+        atomics: Vec::new(),
+        bad: Vec::new(),
+    };
     let mut offset = 0usize;
     let lines: Vec<&str> = text.split_inclusive('\n').collect();
 
@@ -394,38 +487,62 @@ fn collect_directives(
         line_info.push((has_code, comment));
     }
 
-    for (idx, (has_code, comment)) in line_info.iter().enumerate() {
-        let Some(pos) = comment.find(DIRECTIVE) else {
-            continue;
-        };
+    // A trailing directive guards its own line; a standalone comment
+    // line guards the next line bearing code.
+    let target_of = |idx: usize| -> usize {
         let line = idx + 1;
-        let body = comment[pos + DIRECTIVE.len()..].trim();
-        match parse_allow(body) {
-            Ok((rules, justification)) => {
-                // A trailing directive guards its own line; a standalone
-                // comment line guards the next line bearing code.
-                let target_line = if *has_code {
-                    line
-                } else {
-                    line_info
-                        .iter()
-                        .enumerate()
-                        .skip(idx + 1)
-                        .find(|(_, (code, _))| *code)
-                        .map(|(n, _)| n + 1)
-                        .unwrap_or(line)
-                };
-                allows.push(AllowDirective {
+        if line_info[idx].0 {
+            line
+        } else {
+            line_info
+                .iter()
+                .enumerate()
+                .skip(idx + 1)
+                .find(|(_, (code, _))| *code)
+                .map(|(n, _)| n + 1)
+                .unwrap_or(line)
+        }
+    };
+
+    for idx in 0..line_info.len() {
+        let comment = line_info[idx].1.clone();
+        let line = idx + 1;
+        if let Some(pos) = comment.find(DIRECTIVE) {
+            let body = comment[pos + DIRECTIVE.len()..].trim();
+            match parse_allow(body) {
+                Ok((rules, justification)) => out.allows.push(AllowDirective {
                     line,
-                    target_line,
+                    target_line: target_of(idx),
                     rules,
                     justification,
-                });
+                }),
+                Err(msg) => out.bad.push((line, msg)),
             }
-            Err(msg) => bad.push((line, msg)),
+        } else if let Some(pos) = comment.find(LOCK_DIRECTIVE) {
+            let body = comment[pos + LOCK_DIRECTIVE.len()..].trim();
+            match parse_lock(body) {
+                Ok((annotation, justification)) => out.locks.push(LockDirective {
+                    line,
+                    target_line: target_of(idx),
+                    annotation,
+                    justification,
+                }),
+                Err(msg) => out.bad.push((line, msg)),
+            }
+        } else if let Some(pos) = comment.find(ATOMIC_DIRECTIVE) {
+            let body = comment[pos + ATOMIC_DIRECTIVE.len()..].trim();
+            match parse_atomic(body) {
+                Ok((role, justification)) => out.atomics.push(AtomicDirective {
+                    line,
+                    target_line: target_of(idx),
+                    role,
+                    justification,
+                }),
+                Err(msg) => out.bad.push((line, msg)),
+            }
         }
     }
-    (allows, bad)
+    out
 }
 
 /// Parse `allow(rule, ...) -- justification`.
@@ -457,6 +574,72 @@ fn parse_allow(body: &str) -> Result<(Vec<String>, String), String> {
         );
     }
     Ok((rules, justification.to_string()))
+}
+
+/// Validate a family name: lowercase kebab-case identifiers only, so
+/// families read as workspace-global class names (`cache-stripe`).
+fn valid_family_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'_')
+}
+
+/// Parse `family(<name>) -- why` or `use(<name>) [-- why]`.
+fn parse_lock(body: &str) -> Result<(LockAnnotation, String), String> {
+    let (kind, rest) = if let Some(rest) = body.strip_prefix("family") {
+        ("family", rest.trim_start())
+    } else if let Some(rest) = body.strip_prefix("use") {
+        ("use", rest.trim_start())
+    } else {
+        return Err(format!(
+            "expected `family(<name>)` or `use(<name>)` after `{LOCK_DIRECTIVE}`"
+        ));
+    };
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or_else(|| format!("expected `(` after `{kind}`"))?;
+    let close = rest
+        .find(')')
+        .ok_or_else(|| format!("unclosed `{kind}(` directive"))?;
+    let name = rest[..close].trim().to_string();
+    if !valid_family_name(&name) {
+        return Err(format!(
+            "lock family name `{name}` must be non-empty lowercase kebab-case"
+        ));
+    }
+    let tail = rest[close + 1..].trim();
+    let justification = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+    if kind == "family" && justification.is_empty() {
+        return Err(format!(
+            "lock family declaration requires a justification: \
+             `{LOCK_DIRECTIVE} family({name}) -- <what this lock guards>`"
+        ));
+    }
+    let annotation = match kind {
+        "family" => LockAnnotation::Family(name),
+        _ => LockAnnotation::Use(name),
+    };
+    Ok((annotation, justification.to_string()))
+}
+
+/// Parse `<role> -- justification` where role ∈ {counter, flag, seqlock}.
+fn parse_atomic(body: &str) -> Result<(AtomicRole, String), String> {
+    let (word, tail) = match body.find(|c: char| c.is_ascii_whitespace()) {
+        Some(n) => (&body[..n], body[n..].trim()),
+        None => (body, ""),
+    };
+    let role = AtomicRole::parse(word).ok_or_else(|| {
+        format!("unknown atomic role `{word}`: expected `counter`, `flag` or `seqlock`")
+    })?;
+    let justification = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+    if justification.is_empty() {
+        return Err(format!(
+            "atomic role annotation requires a justification: \
+             `{ATOMIC_DIRECTIVE} {word} -- <why this role / ordering is sound>`"
+        ));
+    }
+    Ok((role, justification.to_string()))
 }
 
 #[cfg(test)]
@@ -512,5 +695,54 @@ mod tests {
         let f = scan(src);
         assert_eq!(f.bad_directives.len(), 1);
         assert!(f.allows.is_empty());
+    }
+
+    #[test]
+    fn lock_family_directive_parses() {
+        let src = "// aimq-lock: family(cache-stripe) -- guards one stripe's pages\nstate: Mutex<CacheState>,";
+        let f = scan(src);
+        assert!(f.bad_directives.is_empty(), "{:?}", f.bad_directives);
+        assert_eq!(f.lock_directives.len(), 1);
+        let d = &f.lock_directives[0];
+        assert_eq!(d.annotation, LockAnnotation::Family("cache-stripe".into()));
+        assert_eq!(d.target_line, 2);
+    }
+
+    #[test]
+    fn lock_use_directive_allows_bare_form() {
+        let src = "let mut s = lock_stats(stripe); // aimq-lock: use(cache-stripe)";
+        let f = scan(src);
+        assert!(f.bad_directives.is_empty(), "{:?}", f.bad_directives);
+        assert_eq!(
+            f.lock_directives[0].annotation,
+            LockAnnotation::Use("cache-stripe".into())
+        );
+        assert_eq!(f.lock_directives[0].target_line, 1);
+    }
+
+    #[test]
+    fn lock_family_requires_justification_and_kebab_name() {
+        let unjustified = scan("// aimq-lock: family(queue)\nstate: Mutex<u32>,");
+        assert_eq!(unjustified.bad_directives.len(), 1);
+        let bad_name = scan("// aimq-lock: family(Queue State) -- x\nstate: Mutex<u32>,");
+        assert_eq!(bad_name.bad_directives.len(), 1);
+    }
+
+    #[test]
+    fn atomic_role_directive_parses() {
+        let src = "// aimq-atomic: seqlock -- even/odd version word\nversion: AtomicU64,";
+        let f = scan(src);
+        assert!(f.bad_directives.is_empty(), "{:?}", f.bad_directives);
+        assert_eq!(f.atomic_directives[0].role, AtomicRole::Seqlock);
+        assert_eq!(f.atomic_directives[0].target_line, 2);
+    }
+
+    #[test]
+    fn atomic_role_rejects_unknown_role_and_missing_why() {
+        let unknown = scan("// aimq-atomic: gauge -- hmm\nx: AtomicU64,");
+        assert_eq!(unknown.bad_directives.len(), 1);
+        assert!(unknown.bad_directives[0].1.contains("unknown atomic role"));
+        let bare = scan("// aimq-atomic: counter\nx: AtomicU64,");
+        assert_eq!(bare.bad_directives.len(), 1);
     }
 }

@@ -1,0 +1,17 @@
+//! L5 fixture, half two: acquires `beta` then `alpha` — the inverse of
+//! the `storage` half's order, closing the cycle.
+
+pub struct Rev {
+    // aimq-lock: family(beta) -- fixture: first family in the reverse order
+    right: Mutex<u32>,
+    // aimq-lock: family(alpha) -- fixture: second family in the reverse order
+    left: Mutex<u32>,
+}
+
+impl Rev {
+    pub fn backward(&self) -> u32 {
+        let r = lock(&self.right);
+        let l = lock(&self.left);
+        *r + *l
+    }
+}

@@ -1,0 +1,18 @@
+//! L5 fixture, half one: acquires `alpha` then `beta`. Together with
+//! the `serve` half (which nests the other way) this closes an
+//! acquisition-order cycle across the workspace.
+
+pub struct Fwd {
+    // aimq-lock: family(alpha) -- fixture: first family in the forward order
+    left: Mutex<u32>,
+    // aimq-lock: family(beta) -- fixture: second family in the forward order
+    right: Mutex<u32>,
+}
+
+impl Fwd {
+    pub fn forward(&self) -> u32 {
+        let l = lock(&self.left);
+        let r = lock(&self.right);
+        *l + *r
+    }
+}

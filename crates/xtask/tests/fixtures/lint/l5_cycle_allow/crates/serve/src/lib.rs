@@ -1,0 +1,17 @@
+//! Suppressed twin of `l5_cycle`: the reverse-order half, justified at
+//! the acquisition that closes the cycle in this file.
+
+pub struct Rev {
+    // aimq-lock: family(beta) -- fixture: first family in the reverse order
+    right: Mutex<u32>,
+    // aimq-lock: family(alpha) -- fixture: second family in the reverse order
+    left: Mutex<u32>,
+}
+
+impl Rev {
+    pub fn backward(&self) -> u32 {
+        let r = lock(&self.right);
+        let l = lock(&self.left); // aimq-lint: allow(lock-discipline) -- fixture: inversion guarded by an external token
+        *r + *l
+    }
+}

@@ -1,0 +1,17 @@
+//! Suppressed twin of `l5_cycle`: the same inverted nesting, justified
+//! at the acquisition that closes the cycle in this file.
+
+pub struct Fwd {
+    // aimq-lock: family(alpha) -- fixture: first family in the forward order
+    left: Mutex<u32>,
+    // aimq-lock: family(beta) -- fixture: second family in the forward order
+    right: Mutex<u32>,
+}
+
+impl Fwd {
+    pub fn forward(&self) -> u32 {
+        let l = lock(&self.left);
+        let r = lock(&self.right); // aimq-lint: allow(lock-discipline) -- fixture: inversion guarded by an external token
+        *l + *r
+    }
+}

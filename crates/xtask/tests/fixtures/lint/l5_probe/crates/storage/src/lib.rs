@@ -1,0 +1,16 @@
+//! L5 fixture: a guard held across a blocking source probe. The probe
+//! can spend unbounded (virtual) time retrying; every other thread
+//! touching the memo serializes behind it.
+
+pub struct Memo {
+    // aimq-lock: family(memo-state) -- fixture: guards the memo table
+    state: Mutex<u32>,
+}
+
+impl Memo {
+    pub fn probe_through(&self, q: &Query) -> u32 {
+        let guard = lock(&self.state);
+        let fresh = self.inner.try_query(q);
+        *guard + fresh
+    }
+}

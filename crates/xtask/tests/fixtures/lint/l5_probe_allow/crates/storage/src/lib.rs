@@ -1,0 +1,15 @@
+//! Suppressed twin of `l5_probe`: the same guard-across-probe shape,
+//! justified at the blocking call site.
+
+pub struct Memo {
+    // aimq-lock: family(memo-state) -- fixture: guards the memo table
+    state: Mutex<u32>,
+}
+
+impl Memo {
+    pub fn probe_through(&self, q: &Query) -> u32 {
+        let guard = lock(&self.state);
+        let fresh = self.inner.try_query(q); // aimq-lint: allow(lock-discipline) -- fixture: probe is a bounded in-memory stub
+        *guard + fresh
+    }
+}

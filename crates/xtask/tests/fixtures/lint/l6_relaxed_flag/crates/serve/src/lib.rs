@@ -1,0 +1,20 @@
+//! L6 fixture: a flag-role atomic stored with `Ordering::Relaxed`. The
+//! Acquire load on the read side then has no Release store to pair
+//! with, so the flag publishes nothing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct Shutdown {
+    // aimq-atomic: flag -- fixture: publishes the stop decision
+    stop: AtomicBool,
+}
+
+impl Shutdown {
+    pub fn request(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+
+    pub fn observed(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,19 @@
+//! Suppressed twin of `l6_relaxed_flag`: the Relaxed store and the
+//! resulting unpaired flag both carry justifications.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct Shutdown {
+    // aimq-atomic: flag -- fixture: publishes the stop decision
+    stop: AtomicBool, // aimq-lint: allow(atomics-audit) -- fixture: pairing established by a channel handoff
+}
+
+impl Shutdown {
+    pub fn request(&self) {
+        self.stop.store(true, Ordering::Relaxed); // aimq-lint: allow(atomics-audit) -- fixture: pairing established by a channel handoff
+    }
+
+    pub fn observed(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}

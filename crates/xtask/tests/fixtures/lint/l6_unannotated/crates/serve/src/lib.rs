@@ -1,0 +1,14 @@
+//! L6 fixture: an atomic field with no role annotation. Both the field
+//! and the operation that cannot be attributed to a role are flagged.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Meter {
+    hits: AtomicU64,
+}
+
+impl Meter {
+    pub fn bump(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,14 @@
+//! Suppressed twin of `l6_unannotated`: the unannotated atomic and its
+//! operation both carry a justification.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Meter {
+    hits: AtomicU64, // aimq-lint: allow(atomics-audit) -- fixture: role migration pending
+}
+
+impl Meter {
+    pub fn bump(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed); // aimq-lint: allow(atomics-audit) -- fixture: role migration pending
+    }
+}

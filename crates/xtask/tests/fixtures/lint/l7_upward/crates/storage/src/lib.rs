@@ -1,0 +1,9 @@
+//! L7 fixture: `storage` imports `aimq_serve`, four layers above it in
+//! the crate DAG. The manifest declaration and the import site are both
+//! flagged.
+
+use aimq_serve::QueryServer;
+
+pub fn escalate(server: &QueryServer) -> usize {
+    server.queue_depth()
+}

@@ -1,0 +1,8 @@
+//! Suppressed twin of `l7_upward`: the upward dependency is justified
+//! at both the manifest line and the import site.
+
+use aimq_serve::QueryServer; // aimq-lint: allow(layering) -- fixture: dev-only harness import
+
+pub fn escalate(server: &QueryServer) -> usize {
+    server.queue_depth()
+}

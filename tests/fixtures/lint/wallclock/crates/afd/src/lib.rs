@@ -1,14 +1,20 @@
 //! L4 fixture: wall-clock reads and real sleeps in a determinism crate
 //! (`afd` is under the determinism rule).
 
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 /// Times a mining pass with the wall clock — the result depends on the
-/// machine, not the data.
+/// machine, not the data. Three violations: the `Instant::now()` read,
+/// the real sleep, and the `.elapsed()` readout.
 pub fn timed_pass() -> Duration {
     let t0 = Instant::now();
     std::thread::sleep(Duration::from_millis(1));
     t0.elapsed()
+}
+
+/// Calendar stamp: a pure function of the host clock, not the data.
+pub fn stamped() -> SystemTime {
+    SystemTime::now()
 }
 
 /// A suppressed read: offline stopwatch with a recorded justification.

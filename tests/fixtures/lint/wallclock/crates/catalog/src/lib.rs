@@ -15,6 +15,11 @@ pub fn virtual_time(clock: &crate_clock::VirtualClock) -> u64 {
     clock.now()
 }
 
+/// Stopwatch readout outside the determinism scope: silent.
+pub fn readout(t0: &Instant) -> std::time::Duration {
+    t0.elapsed()
+}
+
 pub mod crate_clock {
     /// Stand-in tick source for the control fixture.
     pub struct VirtualClock(pub u64);
