@@ -386,6 +386,18 @@ mod tests {
         parts.iter().map(|s| (*s).to_owned()).collect()
     }
 
+    /// Best-effort cleanup of a temp artifact. A missing file is fine
+    /// (the test may have failed before creating it); anything else —
+    /// permissions, a directory in the way — is worth a note, because
+    /// a leaked artifact can poison the next run's assertions.
+    fn remove_artifact(path: &std::path::Path) {
+        if let Err(err) = std::fs::remove_file(path) {
+            if err.kind() != std::io::ErrorKind::NotFound {
+                eprintln!("warning: failed to remove {}: {err}", path.display());
+            }
+        }
+    }
+
     fn write_mini_csv() -> std::path::PathBuf {
         let path = std::env::temp_dir().join(format!("aimq_cli_test_{}.csv", std::process::id()));
         std::fs::write(
@@ -458,7 +470,7 @@ mod tests {
             ])),
             Ok(())
         );
-        std::fs::remove_file(&path).ok();
+        remove_artifact(&path);
     }
 
     #[test]
@@ -491,8 +503,8 @@ mod tests {
             ])),
             Ok(())
         );
-        std::fs::remove_file(&path).ok();
-        std::fs::remove_file(&model_path).ok();
+        remove_artifact(&path);
+        remove_artifact(&model_path);
     }
 
     #[test]
@@ -523,7 +535,7 @@ mod tests {
                 "profile {profile} must degrade gracefully, not error"
             );
         }
-        std::fs::remove_file(&path).ok();
+        remove_artifact(&path);
     }
 
     #[test]
@@ -553,7 +565,7 @@ mod tests {
             cmd.extend(extra.iter().map(|s| (*s).to_owned()));
             assert_eq!(run(&cmd), Ok(()), "flags {extra:?}");
         }
-        std::fs::remove_file(&path).ok();
+        remove_artifact(&path);
     }
 
     #[test]
@@ -573,7 +585,7 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("chaotic"));
-        std::fs::remove_file(&path).ok();
+        remove_artifact(&path);
     }
 
     #[test]

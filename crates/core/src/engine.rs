@@ -332,6 +332,7 @@ impl ProbeMemo {
 /// already found, with [`Completeness::Partial`] or
 /// [`Completeness::Empty`] telling the caller how much the answer can be
 /// trusted.
+// aimq-probe: entry -- the engine's probe loop; probe budget and failures are accounted in DegradationReport
 pub fn answer_imprecise_query(
     db: &dyn WebDatabase,
     query: &ImpreciseQuery,

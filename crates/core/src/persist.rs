@@ -483,6 +483,10 @@ mod tests {
         system.save(&path).unwrap();
         let restored = AimqSystem::load(&path).unwrap();
         assert_eq!(system.mined().afds(), restored.mined().afds());
-        std::fs::remove_file(&path).ok();
+        if let Err(err) = std::fs::remove_file(&path) {
+            if err.kind() != std::io::ErrorKind::NotFound {
+                eprintln!("warning: failed to remove {}: {err}", path.display());
+            }
+        }
     }
 }

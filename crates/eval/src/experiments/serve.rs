@@ -65,6 +65,7 @@ impl<D: WebDatabase> WebDatabase for SimulatedRttDb<D> {
         self.inner.schema()
     }
 
+    // aimq-probe: entry -- experiment harness wrapper; adds fixed RTT, accounting stays on the inner db's AccessStats
     fn try_query(&self, query: &SelectionQuery) -> Result<QueryPage, QueryError> {
         std::thread::sleep(self.rtt);
         self.inner.try_query(query)
@@ -175,6 +176,7 @@ fn fingerprint(result: &AnswerSet) -> String {
         result.base_query, result.base_set_size
     );
     for a in &result.answers {
+        // aimq-lint: allow(result-discipline) -- fmt::Write to a String is infallible
         let _ = write!(
             out,
             " | {:?}@{:016x}:{:?}",

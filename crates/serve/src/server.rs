@@ -191,7 +191,7 @@ impl QueryServer {
             // A worker that panicked already delivered `ShuttingDown`
             // to its waiters via the dropped channel; joining the rest
             // matters more than propagating the panic payload.
-            let _ = handle.join();
+            let _ = handle.join(); // aimq-lint: allow(result-discipline) -- join Err is a worker panic already surfaced to waiters
         }
         self.stats.snapshot()
     }
@@ -201,7 +201,7 @@ impl Drop for QueryServer {
     fn drop(&mut self) {
         self.queue.close();
         for handle in self.workers.drain(..) {
-            let _ = handle.join();
+            let _ = handle.join(); // aimq-lint: allow(result-discipline) -- Drop must not panic; a worker panic is not recoverable here
         }
     }
 }
@@ -233,8 +233,12 @@ fn serve_one(
             worker,
         })
     };
-    // A dropped ticket (caller gave up) is not an error for the server.
-    let _ = request.reply.send(result);
+    // A dropped ticket (caller gave up) is not an error for the server,
+    // but it is an observable event: an abandoned-caller spike means
+    // deadlines and client patience have drifted apart.
+    if request.reply.send(result).is_err() {
+        stats.note_reply_dropped();
+    }
 }
 
 #[cfg(test)]
@@ -242,8 +246,9 @@ mod tests {
     use super::*;
     use aimq::TrainConfig;
     use aimq_catalog::Value;
+    use aimq_catalog::{Schema, SelectionQuery};
     use aimq_data::CarDb;
-    use aimq_storage::{CachedWebDb, InMemoryWebDb};
+    use aimq_storage::{AccessStats, CachedWebDb, InMemoryWebDb, QueryError, QueryPage};
 
     fn system_and_db() -> (Arc<AimqSystem>, Arc<dyn WebDatabase>, Vec<ImpreciseQuery>) {
         let db = InMemoryWebDb::new(CarDb::generate(600, 7));
@@ -359,8 +364,74 @@ mod tests {
         let final_stats = server.shutdown();
         assert_eq!(final_stats.admitted, 12);
         assert_eq!(final_stats.completed + final_stats.deadline_missed, 12);
+        assert_eq!(
+            final_stats.replies_dropped, 0,
+            "every ticket is still held, so no reply may be dropped"
+        );
         for t in tickets {
             assert!(t.wait().is_ok());
         }
+    }
+
+    /// A database whose first probe blocks until the test's gate opens
+    /// (the sender is dropped), so a ticket can be abandoned while its
+    /// query is deterministically still in flight.
+    struct GatedDb<D> {
+        inner: D,
+        gate: std::sync::Mutex<std::sync::mpsc::Receiver<()>>,
+    }
+
+    impl<D: WebDatabase> WebDatabase for GatedDb<D> {
+        fn schema(&self) -> &Schema {
+            self.inner.schema()
+        }
+
+        fn try_query(&self, query: &SelectionQuery) -> Result<QueryPage, QueryError> {
+            // Blocks until the test drops the sender; every later probe
+            // sees the disconnect error immediately and sails through.
+            let _ = self.gate.lock().expect("gate lock").recv();
+            self.inner.try_query(query)
+        }
+
+        fn stats(&self) -> AccessStats {
+            self.inner.stats()
+        }
+
+        fn reset_stats(&self) {
+            self.inner.reset_stats()
+        }
+    }
+
+    #[test]
+    fn abandoned_ticket_is_counted_not_swallowed() {
+        let (system, _, queries) = system_and_db();
+        let (hold, gate) = std::sync::mpsc::channel::<()>();
+        let db: Arc<dyn WebDatabase> = Arc::new(GatedDb {
+            inner: InMemoryWebDb::new(CarDb::generate(600, 7)),
+            gate: std::sync::Mutex::new(gate),
+        });
+        let server = QueryServer::start(
+            system,
+            db,
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 4,
+                ..ServeConfig::default()
+            },
+        );
+        let q = queries.first().expect("queries").clone();
+        let ticket = server.submit(q).expect("admitted");
+        // The lone worker is now (or soon) parked inside the gated
+        // probe. Abandon the ticket first, then open the gate: the
+        // worker finishes the query and finds nobody waiting.
+        drop(ticket);
+        drop(hold);
+        let final_stats = server.shutdown();
+        assert_eq!(final_stats.admitted, 1);
+        assert_eq!(final_stats.completed + final_stats.deadline_missed, 1);
+        assert_eq!(
+            final_stats.replies_dropped, 1,
+            "the abandoned reply must be counted: {final_stats:#?}"
+        );
     }
 }

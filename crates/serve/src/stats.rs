@@ -34,6 +34,8 @@ pub struct ServeStats {
     completed: AtomicU64,
     // aimq-atomic: counter -- monotone tally; readers tolerate torn snapshots
     deadline_missed: AtomicU64,
+    // aimq-atomic: counter -- monotone tally; readers tolerate torn snapshots
+    replies_dropped: AtomicU64,
     // aimq-atomic: counter -- monotone high-water mark via fetch_max
     max_queue_depth: AtomicU64,
     // aimq-atomic: counter -- monotone tally; readers tolerate torn snapshots
@@ -58,6 +60,11 @@ pub struct ServeStatsSnapshot {
     pub completed: u64,
     /// Queries that exhausted their probe-tick budget.
     pub deadline_missed: u64,
+    /// Served results whose caller had already dropped the ticket, so
+    /// the reply send failed. Not an error for the server — the work
+    /// still counts toward `completed`/`deadline_missed` — but an
+    /// abandoned-caller rate worth watching.
+    pub replies_dropped: u64,
     /// Highest queue depth observed at any admission.
     pub max_queue_depth: u64,
     /// Sum of per-query probe costs, in virtual ticks.
@@ -92,6 +99,10 @@ impl ServeStats {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn note_reply_dropped(&self) {
+        self.replies_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn note_served(&self, worker: usize, latency_ticks: u64, missed: bool) {
         if missed {
             self.deadline_missed.fetch_add(1, Ordering::Relaxed);
@@ -120,6 +131,7 @@ impl ServeStats {
             rejected: self.rejected.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             deadline_missed: self.deadline_missed.load(Ordering::Relaxed),
+            replies_dropped: self.replies_dropped.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             latency_ticks_total: self.latency_ticks_total.load(Ordering::Relaxed),
             latency_hist: self

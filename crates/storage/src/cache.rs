@@ -29,8 +29,11 @@ struct CacheState {
     /// the sequence of *misses*, never on hit timing, which keeps replayed
     /// runs byte-identical even if an observer probes the cache.
     order: VecDeque<SelectionQuery>,
+    // aimq-arith: counter -- monotone event tally, summed across stripes
     hits: u64,
+    // aimq-arith: counter -- monotone event tally, summed across stripes
     misses: u64,
+    // aimq-arith: counter -- monotone event tally, summed across stripes
     evictions: u64,
 }
 
@@ -181,6 +184,7 @@ impl<D: WebDatabase> WebDatabase for CachedWebDb<D> {
         self.inner.schema()
     }
 
+    // aimq-probe: entry -- memoizing wrapper; misses forward inward and hits/misses are metered in CacheStats
     fn try_query(&self, query: &SelectionQuery) -> Result<QueryPage, QueryError> {
         // Key derivation borrows the query when it is already canonical —
         // the engine's probe plan stores canonical probes, so the common
@@ -199,10 +203,10 @@ impl<D: WebDatabase> WebDatabase for CachedWebDb<D> {
             let mut state = lock_stats(stripe); // aimq-lock: use(cache-stripe)
             if let Some(page) = state.pages.get(key) {
                 let page = page.clone();
-                state.hits += 1;
+                state.hits = state.hits.saturating_add(1);
                 return Ok(page);
             }
-            state.misses += 1;
+            state.misses = state.misses.saturating_add(1);
         }
         // Forward without holding the lock: the inner stack may spend
         // virtual time retrying/backing off, and concurrent probes for
@@ -220,7 +224,7 @@ impl<D: WebDatabase> WebDatabase for CachedWebDb<D> {
                     match state.order.pop_front() {
                         Some(oldest) => {
                             state.pages.remove(&oldest);
-                            state.evictions += 1;
+                            state.evictions = state.evictions.saturating_add(1);
                         }
                         None => break,
                     }
@@ -235,17 +239,17 @@ impl<D: WebDatabase> WebDatabase for CachedWebDb<D> {
         // a counted miss, so summing stripe counters afterwards keeps the
         // `queries_issued <= cache_misses` invariant in every snapshot.
         let inner = self.inner.stats();
-        let (mut hits, mut misses, mut evictions) = (0, 0, 0);
+        let (mut hits, mut misses, mut evictions) = (0u64, 0u64, 0u64);
         for stripe in self.stripes.iter() {
             let state = lock_stats(stripe);
-            hits += state.hits;
-            misses += state.misses;
-            evictions += state.evictions;
+            hits = hits.saturating_add(state.hits);
+            misses = misses.saturating_add(state.misses);
+            evictions = evictions.saturating_add(state.evictions);
         }
         AccessStats {
-            cache_hits: inner.cache_hits + hits,
-            cache_misses: inner.cache_misses + misses,
-            cache_evictions: inner.cache_evictions + evictions,
+            cache_hits: inner.cache_hits.saturating_add(hits),
+            cache_misses: inner.cache_misses.saturating_add(misses),
+            cache_evictions: inner.cache_evictions.saturating_add(evictions),
             ..inner
         }
     }

@@ -92,19 +92,24 @@ impl Default for RetryPolicy {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ResilienceReport {
     /// Failed attempts that were re-issued.
+    // aimq-arith: counter -- monotone event tally; compared against the probe budget
     pub retries: u64,
     /// Closed → open breaker transitions.
+    // aimq-arith: counter -- monotone event tally
     pub breaker_trips: u64,
     /// Probes rejected without touching the source (open breaker or
     /// exhausted budget).
+    // aimq-arith: counter -- monotone event tally
     pub fast_failures: u64,
     /// Total attempts issued against the inner source.
+    // aimq-arith: counter -- monotone event tally; compared against the probe budget
     pub attempts: u64,
 }
 
 #[derive(Debug)]
 struct ResilientState {
     rng: StdRng,
+    // aimq-arith: counter -- u32 failure streak; with breaker_threshold == 0 it is never reset, so wrap is reachable
     consecutive_failures: u32,
     /// `Some(tick)` while the breaker is open; half-opens at `tick`.
     open_until: Option<u64>,
@@ -198,13 +203,13 @@ impl<D: WebDatabase> ResilientWebDb<D> {
 
     /// Record a failed attempt; trips the breaker at the threshold.
     fn note_failure(&self, state: &mut ResilientState) {
-        state.consecutive_failures += 1;
+        state.consecutive_failures = state.consecutive_failures.saturating_add(1);
         if self.policy.breaker_threshold > 0
             && state.consecutive_failures >= self.policy.breaker_threshold
             && state.open_until.is_none()
         {
             state.open_until = Some(self.clock.now() + self.policy.breaker_cooldown);
-            state.report.breaker_trips += 1;
+            state.report.breaker_trips = state.report.breaker_trips.saturating_add(1);
         }
     }
 }
@@ -214,6 +219,7 @@ impl<D: WebDatabase> WebDatabase for ResilientWebDb<D> {
         self.inner.schema()
     }
 
+    // aimq-probe: entry -- retry/breaker wrapper; every attempt and rejection is metered in ResilienceReport
     fn try_query(&self, query: &SelectionQuery) -> Result<QueryPage, QueryError> {
         let mut attempt: u32 = 0;
         loop {
@@ -223,7 +229,7 @@ impl<D: WebDatabase> WebDatabase for ResilientWebDb<D> {
                 // advances virtual time one tick (see module docs).
                 if let Some(until) = state.open_until {
                     if self.clock.now() < until {
-                        state.report.fast_failures += 1;
+                        state.report.fast_failures = state.report.fast_failures.saturating_add(1);
                         drop(state);
                         self.clock.advance(1);
                         return Err(QueryError::Unavailable);
@@ -235,11 +241,11 @@ impl<D: WebDatabase> WebDatabase for ResilientWebDb<D> {
                 // Probe budget is spent per attempt, retries included.
                 if let Some(budget) = self.policy.probe_budget {
                     if state.report.attempts >= budget {
-                        state.report.fast_failures += 1;
+                        state.report.fast_failures = state.report.fast_failures.saturating_add(1);
                         return Err(QueryError::Unavailable);
                     }
                 }
-                state.report.attempts += 1;
+                state.report.attempts = state.report.attempts.saturating_add(1);
             }
 
             match self.inner.try_query(query) {
@@ -257,7 +263,7 @@ impl<D: WebDatabase> WebDatabase for ResilientWebDb<D> {
                         return Err(error);
                     }
                     attempt += 1;
-                    state.report.retries += 1;
+                    state.report.retries = state.report.retries.saturating_add(1);
                     let wait = self.wait_for(&mut state, attempt, error);
                     drop(state);
                     self.clock.advance(wait);
@@ -270,9 +276,11 @@ impl<D: WebDatabase> WebDatabase for ResilientWebDb<D> {
         let inner = self.inner.stats();
         let state = lock_stats(&self.state);
         AccessStats {
-            retries: inner.retries + state.report.retries,
-            failures: inner.failures + state.report.fast_failures,
-            breaker_trips: inner.breaker_trips + state.report.breaker_trips,
+            retries: inner.retries.saturating_add(state.report.retries),
+            failures: inner.failures.saturating_add(state.report.fast_failures),
+            breaker_trips: inner
+                .breaker_trips
+                .saturating_add(state.report.breaker_trips),
             ..inner
         }
     }

@@ -320,6 +320,7 @@ pub trait WebDatabase: Send + Sync {
     /// Legacy infallible shim: evaluate `query`, mapping any failure to an
     /// empty result and dropping the truncation flag. New code should call
     /// [`WebDatabase::try_query`] and handle degradation explicitly.
+    // aimq-probe: entry -- legacy shim over try_query; access accounting lives in the implementor's AccessStats meter
     fn query(&self, query: &SelectionQuery) -> Vec<Tuple> {
         self.try_query(query)
             .map(|page| page.tuples)

@@ -8,71 +8,20 @@
 //! `seqlock` protocols where a version word carries the fences for its
 //! payload slots).
 //!
-//! Workspace pass ([`check_workspace`]): a fixpoint over the
-//! call-graph computes which lock families each function may
-//! transitively acquire; every nested acquisition — direct or through a
-//! call made with a guard live — becomes an ordering edge between
-//! families, and any edge that closes a cycle (including self-loops
-//! through helper calls) is a deadlock-potential finding at the site
-//! that closes it.
+//! Workspace pass ([`check_workspace`]): a may-acquire fixpoint over
+//! the shared [`crate::callgraph`] module computes which lock families
+//! each function may transitively acquire; every nested acquisition —
+//! direct or through a call made with a guard live — becomes an
+//! ordering edge between families, and any edge that closes a cycle
+//! (including self-loops through helper calls) is a deadlock-potential
+//! finding at the site that closes it.
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::callgraph::{CallGraph, CALLEE_BLOCKLIST};
 use crate::rules::{Finding, Severity};
 use crate::source::AtomicRole;
 use crate::structure::{AtomicOp, FileAnalysis};
-
-/// Callee names too generic to resolve through the workspace call
-/// graph: std-alike methods (`len`, `clear`, `insert`, ...) that would
-/// otherwise alias unrelated workspace functions and fabricate edges
-/// (e.g. `pages.len()` under a stripe guard aliasing `CachedWebDb::len`,
-/// which acquires the same stripe family).
-const CALLEE_BLOCKLIST: &[&str] = &[
-    "new",
-    "default",
-    "clone",
-    "drop",
-    "fmt",
-    "len",
-    "is_empty",
-    "clear",
-    "next",
-    "get",
-    "get_mut",
-    "insert",
-    "remove",
-    "push",
-    "pop",
-    "push_back",
-    "push_front",
-    "pop_back",
-    "pop_front",
-    "iter",
-    "iter_mut",
-    "contains",
-    "contains_key",
-    "eq",
-    "ne",
-    "cmp",
-    "partial_cmp",
-    "hash",
-    "from",
-    "into",
-    "index",
-    "min",
-    "max",
-    "map",
-    "and_then",
-    "filter",
-    "collect",
-    "sum",
-    "extend",
-    "unwrap_or",
-    "unwrap_or_else",
-    "unwrap_or_default",
-    "ok_or",
-    "ok_or_else",
-];
 
 const LOCK_HELP: &str = "declare a family with `// aimq-lock: family(<name>) -- <why>` on the \
                          field, mark indirect acquisitions with `// aimq-lock: use(<name>)`, or \
@@ -347,56 +296,20 @@ struct Edge {
 /// facts; returned findings carry the index of the file they occur in
 /// so the caller can apply that file's suppressions.
 pub fn check_workspace(analyses: &[(usize, &FileAnalysis)]) -> Vec<(usize, Finding)> {
-    // Merge same-name functions across files (trait impls union their
-    // effects — conservative but sound for ordering).
-    #[derive(Default)]
-    struct Summary {
-        acquires: BTreeSet<String>,
-        calls: BTreeSet<String>,
-    }
-    let mut fns: BTreeMap<String, Summary> = BTreeMap::new();
+    // Seeds: families each (name-merged) function directly acquires;
+    // the shared call-graph fixpoint closes them into the families a
+    // call may transitively acquire.
+    let mut seeds: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
     for (_, analysis) in analyses {
         for f in &analysis.functions {
-            let s = fns.entry(f.name.clone()).or_default();
-            s.acquires
+            seeds
+                .entry(f.name.clone())
+                .or_default()
                 .extend(f.acquisitions.iter().filter_map(|a| a.family.clone()));
-            s.calls.extend(
-                f.calls
-                    .iter()
-                    .filter(|c| !CALLEE_BLOCKLIST.contains(&c.as_str()))
-                    .cloned(),
-            );
         }
     }
-    // Fixpoint: families a call to `name` may transitively acquire.
-    let mut may: BTreeMap<&str, BTreeSet<String>> = fns
-        .iter()
-        .map(|(name, s)| (name.as_str(), s.acquires.clone()))
-        .collect();
-    loop {
-        let mut changed = false;
-        let additions: Vec<(&str, BTreeSet<String>)> = fns
-            .iter()
-            .map(|(name, s)| {
-                let mut add = BTreeSet::new();
-                for callee in &s.calls {
-                    if let Some(fams) = may.get(callee.as_str()) {
-                        add.extend(fams.iter().cloned());
-                    }
-                }
-                (name.as_str(), add)
-            })
-            .collect();
-        for (name, add) in additions {
-            let set = may.entry(name).or_default();
-            for fam in add {
-                changed |= set.insert(fam);
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
+    let graph = CallGraph::build(analyses.iter().map(|(_, a)| *a));
+    let may = graph.reach_facts(&seeds);
 
     // Collect ordering edges: direct nested acquisitions and calls that
     // may acquire while a guard is live.

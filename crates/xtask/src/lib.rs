@@ -39,6 +39,27 @@
 //!   must follow the crate DAG
 //!   (catalog → storage → {afd, sim} → rock → core → serve → bins).
 //!
+//! Three effect-system families ride on a shared call-graph fixpoint
+//! (`callgraph` module) and the directive grammar (see the `effects`
+//! module):
+//!
+//! - **L8 probe-effect**: a workspace may-call fixpoint computes every
+//!   function that can transitively reach `WebDatabase::try_query`;
+//!   probing paths are banned in the probe-free crates (`afd`, `sim`,
+//!   `rock`, `catalog`), banned under a live lock guard, and direct
+//!   boundary callers must be annotated
+//!   `// aimq-probe: entry -- <why>` (stale annotations are errors).
+//! - **L9 result-discipline**: non-test code may not discard fallible
+//!   results — `let _ =`, terminal `.ok();`, bare call statements to
+//!   functions returning `QueryError`/`ProbeError`/`ServeError`
+//!   results, and wildcard `_ =>` arms in matches over those enums are
+//!   all errors.
+//! - **L10 counter-arith**: fields annotated `aimq-atomic: counter` or
+//!   `// aimq-arith: counter -- <why>` are tracked in their declaring
+//!   file; plain `+`/`-`/`*` (or compound) arithmetic touching them
+//!   must become `saturating_*`/`checked_*` or carry
+//!   `// aimq-arith: allow -- <invariant>`.
+//!
 //! Diagnostics are rustc-style with file:line:col spans; per-line
 //! suppressions use `// aimq-lint: allow(<rule>) -- <justification>`
 //! and the justification is mandatory. `--json` emits the same
@@ -47,7 +68,9 @@
 //! hand-rolled lexical scan (`source` module) because the offline
 //! build environment cannot fetch `syn`.
 
+pub mod callgraph;
 pub mod concurrency;
+pub mod effects;
 pub mod json;
 pub mod layering;
 pub mod rules;
@@ -132,55 +155,23 @@ impl LintReport {
 /// suppressions.
 pub fn lint_root(root: &Path) -> std::io::Result<LintReport> {
     let mut report = LintReport::default();
-    let crates_dir = root.join("crates");
-    let mut names: Vec<String> = Vec::new();
-    for entry in std::fs::read_dir(&crates_dir)? {
-        let entry = entry?;
-        if entry.file_type()?.is_dir() {
-            names.push(entry.file_name().to_string_lossy().into_owned());
-        }
-    }
-    names.sort();
-    names.retain(|n| n != "xtask");
+    let (names, entries) = scan_workspace(root)?;
 
-    struct Entry {
-        rel: PathBuf,
-        crate_name: String,
-        scanned: source::ScannedFile,
-        analysis: structure::FileAnalysis,
-        lines: Vec<String>,
-    }
-    let mut entries: Vec<Entry> = Vec::new();
-
-    for name in &names {
+    for entry in &entries {
         let ruleset = RuleSet {
-            panic_and_ordering: PANIC_CRATES.contains(&name.as_str()),
-            determinism: DETERMINISM_CRATES.contains(&name.as_str()),
-            concurrency: PANIC_CRATES.contains(&name.as_str()),
+            panic_and_ordering: PANIC_CRATES.contains(&entry.crate_name.as_str()),
+            determinism: DETERMINISM_CRATES.contains(&entry.crate_name.as_str()),
+            concurrency: PANIC_CRATES.contains(&entry.crate_name.as_str()),
         };
-        let src_dir = crates_dir.join(name).join("src");
-        if !src_dir.is_dir() {
-            continue;
-        }
-        let mut files = Vec::new();
-        collect_rs_files(&src_dir, &mut files)?;
-        files.sort();
-        for file in files {
-            let text = std::fs::read_to_string(&file)?;
-            let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
-            let scanned = source::scan(&text);
-            let analysis = structure::analyze(&scanned);
-            let lines: Vec<String> = text.lines().map(|l| l.trim_end().to_string()).collect();
-            if ruleset.panic_and_ordering || ruleset.determinism {
-                lint_scanned(&scanned, &analysis, &lines, &rel, ruleset, &mut report);
-            }
-            entries.push(Entry {
-                rel,
-                crate_name: name.clone(),
-                scanned,
-                analysis,
-                lines,
-            });
+        if ruleset.panic_and_ordering || ruleset.determinism {
+            lint_scanned(
+                &entry.scanned,
+                &entry.analysis,
+                &entry.lines,
+                &entry.rel,
+                ruleset,
+                &mut report,
+            );
         }
     }
 
@@ -216,6 +207,21 @@ pub fn lint_root(root: &Path) -> std::io::Result<LintReport> {
         .collect();
     late.extend(layering::check_imports(&imports, &manifests.declared));
 
+    // Pass 2c: effect-system rules (L8 probe-effect over the shared
+    // call graph, L9 result-discipline, L10 counter-arith) over every
+    // crate — bins and eval included, which carry no per-file ruleset.
+    let eff_files: Vec<effects::EffectsFile> = entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| effects::EffectsFile {
+            idx: i,
+            crate_name: e.crate_name.as_str(),
+            scanned: &e.scanned,
+            analysis: &e.analysis,
+        })
+        .collect();
+    late.extend(effects::check_workspace(&eff_files).findings);
+
     for (idx, finding) in late {
         let entry = &entries[idx];
         if entry.scanned.is_allowed(finding.rule, finding.line) {
@@ -241,6 +247,108 @@ pub fn lint_root(root: &Path) -> std::io::Result<LintReport> {
         .diagnostics
         .sort_by(|a, b| (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule)));
     Ok(report)
+}
+
+/// One scanned workspace file retained for the cross-file passes.
+struct Entry {
+    rel: PathBuf,
+    crate_name: String,
+    scanned: source::ScannedFile,
+    analysis: structure::FileAnalysis,
+    lines: Vec<String>,
+}
+
+/// Scan every `.rs` file under `crates/<name>/src/` (except `xtask`
+/// itself, whose docs quote directive syntax verbatim) into retained
+/// lexical + structural facts. Returns the sorted crate names and the
+/// file entries in (crate, path) order.
+fn scan_workspace(root: &Path) -> std::io::Result<(Vec<String>, Vec<Entry>)> {
+    let crates_dir = root.join("crates");
+    let mut names: Vec<String> = Vec::new();
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let entry = entry?;
+        if entry.file_type()?.is_dir() {
+            names.push(entry.file_name().to_string_lossy().into_owned());
+        }
+    }
+    names.sort();
+    names.retain(|n| n != "xtask");
+
+    let mut entries: Vec<Entry> = Vec::new();
+    for name in &names {
+        let src_dir = crates_dir.join(name).join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files)?;
+        files.sort();
+        for file in files {
+            let text = std::fs::read_to_string(&file)?;
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+            let scanned = source::scan(&text);
+            let analysis = structure::analyze(&scanned);
+            let lines: Vec<String> = text.lines().map(|l| l.trim_end().to_string()).collect();
+            entries.push(Entry {
+                rel,
+                crate_name: name.clone(),
+                scanned,
+                analysis,
+                lines,
+            });
+        }
+    }
+    Ok((names, entries))
+}
+
+/// One sanctioned probing entry point, for `cargo xtask probes` and
+/// the checked-in `results/PROBE_ENTRYPOINTS.txt` audit.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ProbeEntryPoint {
+    /// Path relative to the workspace root.
+    pub path: PathBuf,
+    /// Function name.
+    pub fn_name: String,
+}
+
+/// Workspace probe-effect summary: the direct `try_query` callers and
+/// the per-crate probing sets the L8 fixpoint inferred.
+#[derive(Debug, Default)]
+pub struct ProbeSummary {
+    /// Direct boundary callers outside the probe-free crates, sorted.
+    pub entries: Vec<ProbeEntryPoint>,
+    /// Probing (merged) function names per crate. The probe-free
+    /// crates (`afd`, `sim`, `rock`, `catalog`) must map to empty sets.
+    pub probing_by_crate: std::collections::BTreeMap<String, std::collections::BTreeSet<String>>,
+}
+
+/// Compute the L8 probe-effect summary for the workspace at `root`.
+pub fn probe_summary(root: &Path) -> std::io::Result<ProbeSummary> {
+    let (_, entries) = scan_workspace(root)?;
+    let eff_files: Vec<effects::EffectsFile> = entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| effects::EffectsFile {
+            idx: i,
+            crate_name: e.crate_name.as_str(),
+            scanned: &e.scanned,
+            analysis: &e.analysis,
+        })
+        .collect();
+    let report = effects::check_workspace(&eff_files);
+    let mut out = ProbeSummary {
+        probing_by_crate: report.probing_by_crate,
+        ..ProbeSummary::default()
+    };
+    for entry in report.entries {
+        out.entries.push(ProbeEntryPoint {
+            path: entries[entry.idx].rel.clone(),
+            fn_name: entry.fn_name,
+        });
+    }
+    out.entries.sort();
+    out.entries.dedup();
+    Ok(out)
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

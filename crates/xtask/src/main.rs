@@ -5,7 +5,9 @@
 //! cargo xtask lint --deny-warnings # promote warnings (indexing) too
 //! cargo xtask lint --root DIR      # lint a workspace-shaped tree (fixtures)
 //! cargo xtask lint --json          # machine-readable findings on stdout
+//! cargo xtask lint --changed       # scope per-file findings to git-changed files
 //! cargo xtask lint --explain RULE  # print a rule's rationale and remedy
+//! cargo xtask probes               # print the probing entry-point list
 //! cargo xtask annotate lint.json   # GitHub ::error annotations from --json
 //! ```
 
@@ -16,6 +18,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => lint(args.collect()),
+        Some("probes") => probes(args.collect()),
         Some("annotate") => annotate(args.collect()),
         Some(other) => {
             eprintln!("unknown xtask command `{other}`");
@@ -31,10 +34,52 @@ fn main() -> ExitCode {
 
 fn usage() {
     eprintln!(
-        "usage: cargo xtask lint [--root DIR] [--deny-warnings] [--json] [--explain RULE]\n\
+        "usage: cargo xtask lint [--root DIR] [--deny-warnings] [--json] [--changed] \
+         [--explain RULE]\n\
+         \x20      cargo xtask probes [--root DIR]\n\
          \x20      cargo xtask annotate <lint.json>"
     );
 }
+
+fn default_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Files git reports as modified (vs HEAD) or untracked, relative to
+/// `root`. `None` when git is unavailable — the caller falls back to
+/// the full workspace.
+fn git_changed_files(root: &std::path::Path) -> Option<std::collections::BTreeSet<PathBuf>> {
+    let run = |args: &[&str]| -> Option<String> {
+        let out = std::process::Command::new("git")
+            .arg("-C")
+            .arg(root)
+            .args(args)
+            .output()
+            .ok()?;
+        out.status
+            .success()
+            .then(|| String::from_utf8_lossy(&out.stdout).into_owned())
+    };
+    let diffed = run(&["diff", "--name-only", "HEAD"])?;
+    let untracked = run(&["ls-files", "--others", "--exclude-standard"])?;
+    Some(
+        diffed
+            .lines()
+            .chain(untracked.lines())
+            .filter(|l| !l.is_empty())
+            .map(PathBuf::from)
+            .collect(),
+    )
+}
+
+/// Rules whose findings depend on workspace-wide state: a change in
+/// one file can surface a finding in an unchanged file, so `--changed`
+/// never filters them out.
+const CROSS_FILE_RULES: &[&str] = &["lock-discipline", "layering", "probe-effect"];
 
 fn explain(rule: &str) -> ExitCode {
     let Some(info) = xtask::rule_info(rule) else {
@@ -60,13 +105,10 @@ fn explain(rule: &str) -> ExitCode {
 }
 
 fn lint(args: Vec<String>) -> ExitCode {
-    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .parent()
-        .and_then(|p| p.parent())
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("."));
+    let mut root = default_root();
     let mut deny_warnings = false;
     let mut json = false;
+    let mut changed = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -79,6 +121,7 @@ fn lint(args: Vec<String>) -> ExitCode {
             },
             "--deny-warnings" => deny_warnings = true,
             "--json" => json = true,
+            "--changed" => changed = true,
             "--explain" => match it.next() {
                 Some(rule) => return explain(&rule),
                 None => {
@@ -94,13 +137,41 @@ fn lint(args: Vec<String>) -> ExitCode {
         }
     }
 
-    let report = match xtask::lint_root(&root) {
+    let mut report = match xtask::lint_root(&root) {
         Ok(report) => report,
         Err(err) => {
             eprintln!("error: failed to lint {}: {err}", root.display());
             return ExitCode::from(2);
         }
     };
+
+    // `--changed` keeps fast local runs readable: per-file findings are
+    // scoped to git-modified files, while cross-file rules (L5/L7/L8)
+    // always report workspace-wide — an edit here can break an
+    // invariant there.
+    if changed {
+        match git_changed_files(&root) {
+            Some(files) => {
+                let before = report.diagnostics.len();
+                report.diagnostics.retain(|d| {
+                    CROSS_FILE_RULES.contains(&d.rule.as_str()) || files.contains(&d.path)
+                });
+                if !json {
+                    eprintln!(
+                        "aimq-lint: --changed scoped {} per-file finding(s) to {} changed \
+                         file(s); cross-file rules ({}) stay workspace-wide",
+                        before - report.diagnostics.len(),
+                        files.len(),
+                        CROSS_FILE_RULES.join(", ")
+                    );
+                }
+            }
+            None => eprintln!(
+                "aimq-lint: --changed requested but git is unavailable here; \
+                 linting the full workspace"
+            ),
+        }
+    }
 
     if json {
         println!("{}", xtask::json::to_json(&report));
@@ -124,6 +195,42 @@ fn lint(args: Vec<String>) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Print the sorted probing entry-point list (`<path> <fn>` per line),
+/// the format checked into `results/PROBE_ENTRYPOINTS.txt`; CI diffs
+/// the two so a new probe path requires an explicit commit.
+fn probes(args: Vec<String>) -> ExitCode {
+    let mut root = default_root();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match xtask::probe_summary(&root) {
+        Ok(summary) => {
+            for entry in &summary.entries {
+                println!("{} {}", entry.path.display(), entry.fn_name);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: failed to scan {}: {err}", root.display());
+            ExitCode::from(2)
+        }
     }
 }
 

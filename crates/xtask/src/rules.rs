@@ -10,6 +10,9 @@
 //! | `lock-discipline` | error | seven library crates | unannotated lock fields, unresolvable/nested acquisitions that close ordering cycles, guards held across blocking calls |
 //! | `atomics-audit` | error | seven library crates | atomic fields without a role annotation, `Relaxed` outside `counter` roles, unpaired Acquire/Release |
 //! | `layering` | error | all aimq crates | upward or undeclared cross-crate dependencies and imports |
+//! | `probe-effect` | error | all aimq crates | inferred probing paths in probe-free crates, probes under a live guard, unannotated or stale probing entry points |
+//! | `result-discipline` | error | all aimq crates | `let _ =`, terminal `.ok();`, bare calls discarding fault-carrying `Result`s, wildcard `_ =>` arms over fault enums |
+//! | `counter-arith` | error | all aimq crates | unchecked `+`/`-`/`*` arithmetic touching tracked budget/counter fields |
 //! | `lint-allow` | error | everywhere linted | malformed, unjustified, or unknown-rule suppression directives |
 //!
 //! `indexing` is warn-level by default — mirroring clippy's
@@ -270,6 +273,9 @@ pub const KNOWN_RULES: &[&str] = &[
     "lock-discipline",
     "atomics-audit",
     "layering",
+    "probe-effect",
+    "result-discipline",
+    "counter-arith",
 ];
 
 /// One registry entry backing `cargo xtask lint --explain <rule>` and
@@ -380,6 +386,48 @@ pub const RULES: &[RuleInfo] = &[
         remedy: "move the shared type down (usually into catalog or storage), or justify \
                  with `# aimq-lint: allow(layering) -- <why>` on the Cargo.toml line / \
                  `// aimq-lint: allow(layering) -- <why>` on the import.",
+    },
+    RuleInfo {
+        id: "probe-effect",
+        severity: Severity::Error,
+        summary: "inferred probing paths in probe-free crates, probes made under a live lock \
+                  guard, and unannotated or stale probing entry points",
+        rationale: "every probe to an autonomous source must flow through the budgeted, \
+                    degradation-aware `WebDatabase::try_query` boundary; the mining and \
+                    statistics crates assume a consistent source snapshot, so a call chain \
+                    from `afd`/`sim`/`rock`/`catalog` to the boundary — inferred by a \
+                    workspace may-call fixpoint — breaks the paper's sampling model, and a \
+                    probe under a lock guard serializes every worker behind source latency.",
+        remedy: "route source I/O through the storage layer; annotate each direct boundary \
+                 caller with `// aimq-probe: entry -- <where budget accounting lives>`; drop \
+                 guards before probing; justify residues with \
+                 `// aimq-lint: allow(probe-effect) -- <why>`.",
+    },
+    RuleInfo {
+        id: "result-discipline",
+        severity: Severity::Error,
+        summary: "silently discarded fallible results (`let _ =`, terminal `.ok();`, bare \
+                  call statements) and wildcard `_ =>` arms over fault enums",
+        rationale: "the fault taxonomy (`QueryError`, `ProbeError`, `ServeError`) exists so \
+                    degradation is explicit; a swallowed error or a wildcard arm absorbs a \
+                    fault the engine was designed to account for, and a newly added fault \
+                    variant should not compile until every match decides what it means.",
+        remedy: "propagate with `?`, handle with `match`/`if let Err`, count the event in \
+                 stats, and name every enum variant; justify intentional drops with \
+                 `// aimq-lint: allow(result-discipline) -- <why>`.",
+    },
+    RuleInfo {
+        id: "counter-arith",
+        severity: Severity::Error,
+        summary: "unchecked `+`/`-`/`*` (or compound) arithmetic in statements touching \
+                  tracked budget/counter fields",
+        rationale: "probe budgets, cache capacities, and statistics counters are the units \
+                    the engine's degradation contract is written in; debug builds panic on \
+                    overflow but release builds wrap silently, turning an exhausted budget \
+                    into a fresh one.",
+        remedy: "track fields with `// aimq-atomic: counter` or `// aimq-arith: counter -- \
+                 <what it counts>`, use `saturating_*`/`checked_*` arithmetic on them, and \
+                 justify bounded sites with `// aimq-arith: allow -- <invariant>`.",
     },
     RuleInfo {
         id: "lint-allow",

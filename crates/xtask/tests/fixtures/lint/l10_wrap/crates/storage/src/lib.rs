@@ -1,0 +1,17 @@
+//! L10 fixture: unchecked arithmetic on a tracked counter. In release
+//! builds `+=` wraps silently; the meter then underreports by 2^64.
+
+pub struct Meter {
+    // aimq-arith: counter -- fixture: monotone event tally
+    hits: u64,
+}
+
+impl Meter {
+    pub fn bump(&mut self) {
+        self.hits += 1;
+    }
+
+    pub fn combined(&self, other: &Meter) -> u64 {
+        self.hits + other.hits
+    }
+}

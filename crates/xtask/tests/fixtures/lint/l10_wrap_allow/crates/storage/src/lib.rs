@@ -1,0 +1,18 @@
+//! Passing twin of `l10_wrap`: the increment is saturating and the sum
+//! carries an arith-allow escape with its invariant.
+
+pub struct Meter {
+    // aimq-arith: counter -- fixture: monotone event tally
+    hits: u64,
+}
+
+impl Meter {
+    pub fn bump(&mut self) {
+        self.hits = self.hits.saturating_add(1);
+    }
+
+    pub fn combined(&self, other: &Meter) -> u64 {
+        // aimq-arith: allow -- fixture: both tallies are bounded by one u32 event budget
+        self.hits + other.hits
+    }
+}

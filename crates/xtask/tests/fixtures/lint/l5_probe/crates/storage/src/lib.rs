@@ -8,6 +8,7 @@ pub struct Memo {
 }
 
 impl Memo {
+    // aimq-probe: entry -- fixture: sanctioned forward to the boundary
     pub fn probe_through(&self, q: &Query) -> u32 {
         let guard = lock(&self.state);
         let fresh = self.inner.try_query(q);

@@ -1,0 +1,12 @@
+//! L8 fixture: an unannotated direct `try_query` caller, plus a stale
+//! probe-entry annotation pointing at a function that no longer probes
+//! (the probe moved out from under the comment).
+
+pub fn fetch(db: &Db, q: &Query) -> u32 {
+    db.try_query(q)
+}
+
+// aimq-probe: entry -- fixture: this claim is stale, `summarize` no longer probes
+pub fn summarize(db: &Db) -> u32 {
+    db.len()
+}

@@ -1,0 +1,20 @@
+//! L8 fixture: an *indirect* probing call under a live guard. L5 only
+//! sees literal blocking names (`try_query` et al.); `refresh` probes
+//! one hop away, so only the effect fixpoint connects the dots.
+
+pub struct Memo {
+    // aimq-lock: family(memo-state) -- fixture: guards the memo table
+    state: Mutex<u32>,
+}
+
+impl Memo {
+    // aimq-probe: entry -- fixture: sanctioned forward to the boundary
+    pub fn refresh(&self, q: &Query) -> u32 {
+        self.inner.try_query(q)
+    }
+
+    pub fn cached(&self, q: &Query) -> u32 {
+        let guard = lock(&self.state);
+        *guard + self.refresh(q)
+    }
+}

@@ -1,0 +1,19 @@
+//! Suppressed twin of `l8_guard`: the same indirect probe under a
+//! guard, justified at the call site.
+
+pub struct Memo {
+    // aimq-lock: family(memo-state) -- fixture: guards the memo table
+    state: Mutex<u32>,
+}
+
+impl Memo {
+    // aimq-probe: entry -- fixture: sanctioned forward to the boundary
+    pub fn refresh(&self, q: &Query) -> u32 {
+        self.inner.try_query(q)
+    }
+
+    pub fn cached(&self, q: &Query) -> u32 {
+        let guard = lock(&self.state);
+        *guard + self.refresh(q) // aimq-lint: allow(probe-effect) -- fixture: probe is a bounded in-memory stub
+    }
+}

@@ -1,0 +1,11 @@
+//! L8 fixture: a probing path reaches a probe-free crate. `estimate`
+//! never mentions `try_query` itself — the taint arrives transitively
+//! through `refresh` — so only the workspace fixpoint can see it.
+
+pub fn refresh(db: &Db, q: &Query) -> u32 {
+    db.try_query(q)
+}
+
+pub fn estimate(db: &Db, q: &Query) -> u32 {
+    refresh(db, q) * 2
+}

@@ -1,0 +1,12 @@
+//! Suppressed twin of `l8_probe_in_sim`: the same transitive probing
+//! path, justified at both tainted definitions.
+
+// aimq-lint: allow(probe-effect) -- fixture: migration shim, removal tracked
+pub fn refresh(db: &Db, q: &Query) -> u32 {
+    db.try_query(q)
+}
+
+// aimq-lint: allow(probe-effect) -- fixture: migration shim, removal tracked
+pub fn estimate(db: &Db, q: &Query) -> u32 {
+    refresh(db, q) * 2
+}

@@ -1,0 +1,18 @@
+//! L9 fixture: all three discard forms — `let _ =`, a terminal
+//! `.ok();`, and a bare call statement whose fault-carrying `Result`
+//! falls on the floor.
+
+pub enum QueryError {
+    Unavailable,
+}
+
+// aimq-probe: entry -- fixture: sanctioned forward to the boundary
+pub fn risky(db: &Db, q: &Query) -> Result<Page, QueryError> {
+    db.try_query(q)
+}
+
+pub fn caller(db: &Db, q: &Query) {
+    let _ = risky(db, q);
+    risky(db, q).ok();
+    risky(db, q);
+}

@@ -1,0 +1,17 @@
+//! Suppressed twin of `l9_discard`: each discard individually
+//! justified; the bare call now consumes its result.
+
+pub enum QueryError {
+    Unavailable,
+}
+
+// aimq-probe: entry -- fixture: sanctioned forward to the boundary
+pub fn risky(db: &Db, q: &Query) -> Result<Page, QueryError> {
+    db.try_query(q)
+}
+
+pub fn caller(db: &Db, q: &Query) -> bool {
+    let _ = risky(db, q); // aimq-lint: allow(result-discipline) -- fixture: warm-up probe, outcome irrelevant
+    risky(db, q).ok(); // aimq-lint: allow(result-discipline) -- fixture: best-effort prefetch
+    risky(db, q).is_ok()
+}

@@ -1,0 +1,15 @@
+//! L9 fixture: a wildcard arm in a match over a fault enum. A newly
+//! added error variant silently falls into the `_` bucket instead of
+//! forcing the author to decide how to handle it.
+
+pub enum QueryError {
+    Unavailable,
+    RateLimited,
+}
+
+pub fn classify(error: QueryError) -> u32 {
+    match error {
+        QueryError::Unavailable => 1,
+        _ => 0,
+    }
+}

@@ -1,0 +1,14 @@
+//! Suppressed twin of `l9_wildcard`: the wildcard is justified (here
+//! every non-terminal fault really is equivalent).
+
+pub enum QueryError {
+    Unavailable,
+    RateLimited,
+}
+
+pub fn classify(error: QueryError) -> u32 {
+    match error {
+        QueryError::Unavailable => 1,
+        _ => 0, // aimq-lint: allow(result-discipline) -- fixture: all retryable faults rank equal
+    }
+}

@@ -152,3 +152,48 @@ fn real_workspace_is_lint_clean() {
     );
     assert!(!report.failed(true));
 }
+
+#[test]
+fn probe_free_crates_have_empty_probing_sets() {
+    // The L8 fixpoint is the proof: `afd`, `sim`, `rock` and `catalog`
+    // are pure in-memory layers, and no function in them may reach
+    // `WebDatabase::try_query` — not even transitively through storage
+    // helpers. An empty set here is a workspace invariant, not luck.
+    let summary =
+        xtask::probe_summary(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("scan workspace");
+    for crate_name in ["afd", "catalog", "rock", "sim"] {
+        let probing = summary
+            .probing_by_crate
+            .get(crate_name)
+            .map(|fns| fns.iter().cloned().collect::<Vec<_>>())
+            .unwrap_or_default();
+        assert!(
+            probing.is_empty(),
+            "crate `{crate_name}` must stay probe-free, but these functions \
+             can reach `try_query`: {probing:?}"
+        );
+    }
+}
+
+#[test]
+fn checked_in_probe_entrypoint_list_is_current() {
+    // `results/PROBE_ENTRYPOINTS.txt` is the reviewed probing surface;
+    // a new probe path must show up in the diff of that file, never
+    // slide in silently. Regenerate with `cargo xtask probes`.
+    let summary =
+        xtask::probe_summary(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("scan workspace");
+    let rendered: String = summary
+        .entries
+        .iter()
+        .map(|e| format!("{} {}\n", e.path.display(), e.fn_name))
+        .collect();
+    let checked_in = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("results/PROBE_ENTRYPOINTS.txt"),
+    )
+    .expect("results/PROBE_ENTRYPOINTS.txt exists");
+    assert_eq!(
+        checked_in, rendered,
+        "probing surface drifted; regenerate with `cargo xtask probes > \
+         results/PROBE_ENTRYPOINTS.txt` and review the diff"
+    );
+}
