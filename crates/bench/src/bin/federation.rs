@@ -1,0 +1,13 @@
+//! Runs the **federation** experiment (scatter-gather extension): CarDB
+//! sharded into 8 simulated autonomous sources with 2-way replicated
+//! fragments, replaying the workload while 0/1/2/4 sources run the
+//! `hostile` profile; reports top-k recall vs the fault-free federated
+//! run plus the per-source failure/hedge counters.
+use aimq_eval::{experiments::federation, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    aimq_bench::preamble("Federation: recall vs number of failed sources", scale);
+    let result = federation::run(scale, 42);
+    println!("{}", result.render());
+}

@@ -22,8 +22,9 @@ use aimq_afd::TaneConfig;
 use aimq_catalog::Schema;
 use aimq_data::CarDb;
 use aimq_storage::{
-    read_csv, AccessStats, CachedWebDb, FaultInjectingWebDb, FaultProfile, InMemoryWebDb, Relation,
-    ResilientWebDb, RetryPolicy, WebDatabase, DEFAULT_CACHE_CAPACITY,
+    read_csv, AccessStats, CachedWebDb, FaultInjectingWebDb, FaultProfile, FederatedWebDb,
+    FederationPolicy, InMemoryWebDb, Relation, ResilientWebDb, RetryPolicy, SourceSpec,
+    WebDatabase, DEFAULT_CACHE_CAPACITY,
 };
 
 use args::Args;
@@ -72,6 +73,8 @@ fn print_help() {
          \x20            [--tsim X] [--k N] [--sample N] [--seed S] [--model MODEL]\n\
          \x20            [--faults none|flaky|hostile] [--fault-seed S]\n\
          \x20            [--cache-capacity N] [--no-cache true]\n\
+         \x20            [--sources N] [--fault-profile-per-source p0,p1,...]\n\
+         \x20            [--replication R] [--hedge-delay T]\n\
          \x20 aimq serve-bench [--scale full|quick|N] [--seed S]\n\n\
          SPEC:  Name:cat,Name:num,...  (column order; CSV header must match)\n\
          QUERY: the paper's notation, e.g. \"Model like Camry, Price like 10000\"\n\
@@ -81,6 +84,13 @@ fn print_help() {
          CACHE: repeated probes are answered from a memoizing cache in\n\
          \x20      front of the source (default capacity {}); `--no-cache\n\
          \x20      true` sends every probe to the source\n\
+         SOURCES: `--sources N` shards the relation into N simulated\n\
+         \x20      autonomous sources (R-way replicated fragments, default\n\
+         \x20      R=2) and scatter-gathers every probe across them; each\n\
+         \x20      source gets its own fault profile from the per-source\n\
+         \x20      list (padded with `--faults`), its own resilience stack,\n\
+         \x20      and a mirror that absorbs hedged probes after T virtual\n\
+         \x20      ticks; the degradation line grows a per-source breakdown\n\
          SERVE-BENCH: replay a CarDB query log through the concurrent\n\
          \x20      serving runtime at 1/2/4/8 workers over a shared striped\n\
          \x20      cache and a simulated source round-trip; reports\n\
@@ -113,6 +123,7 @@ fn serve_bench(args: &Args) -> Result<(), String> {
         return Err("concurrent answers diverged from the single-threaded engine".to_owned());
     }
     println!("speedup at 8 workers: {:.2}x", result.speedup(8));
+    println!("{}", result.counters_line());
     Ok(())
 }
 
@@ -289,11 +300,56 @@ fn query(args: &Args) -> Result<(), String> {
     let fault_seed = args.u64_or("fault-seed", seed)?;
     let no_cache = args.bool_or("no-cache", false)?;
     let cache_capacity = args.usize_or("cache-capacity", DEFAULT_CACHE_CAPACITY)?;
+    let sources = args.usize_or("sources", 1)?;
+    if sources == 0 {
+        return Err("--sources must be at least 1".to_owned());
+    }
+    let replication = args.usize_or("replication", 2)?;
+    let hedge_delay = args.u64_or("hedge-delay", 4)?;
 
     // The memoizing cache always sits OUTERMOST so that hits cost
     // nothing: no probe-budget charge, no breaker state, no fault
     // ordinal (see DESIGN.md, "Probe caching & dedup semantics").
-    let (result, cache_note) = if profile.is_benign() {
+    let (result, cache_note) = if sources >= 2 {
+        // Federated path: shard the relation into simulated autonomous
+        // sources, each with its own profile, seed, and resilience stack
+        // (member caches included — FederationPolicy::cache_capacity).
+        let mut profiles: Vec<FaultProfile> = Vec::with_capacity(sources);
+        if let Ok(list) = args.required("fault-profile-per-source") {
+            for name in list.split(',') {
+                let p = FaultProfile::by_name(name.trim()).ok_or_else(|| {
+                    format!("unknown fault profile `{name}` in --fault-profile-per-source")
+                })?;
+                profiles.push(p);
+            }
+            if profiles.len() > sources {
+                return Err(format!(
+                    "--fault-profile-per-source lists {} profiles for {sources} sources",
+                    profiles.len()
+                ));
+            }
+        }
+        profiles.resize(sources, profile);
+        let specs: Vec<SourceSpec> = profiles
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| SourceSpec {
+                profile: p,
+                fault_seed: fault_seed.wrapping_add(i as u64),
+                ..SourceSpec::benign(format!("s{i}"))
+            })
+            .collect();
+        let policy = FederationPolicy {
+            hedge_delay: (hedge_delay > 0).then_some(hedge_delay),
+            cache_capacity: if no_cache { 0 } else { cache_capacity },
+            ..FederationPolicy::default()
+        };
+        let federated = FederatedWebDb::shard(db.relation(), &specs, replication, policy)
+            .ok_or("could not shard the relation into federation members")?;
+        let result = system.answer(&federated, &query, &config);
+        let note = (!no_cache).then(|| cache_summary(&federated.stats()));
+        (result, note)
+    } else if profile.is_benign() {
         if no_cache {
             (system.answer(&db, &query, &config), None)
         } else {
@@ -323,6 +379,9 @@ fn query(args: &Args) -> Result<(), String> {
         result.stats.tuples_examined
     );
     println!("degradation: {}", result.degradation);
+    for source in &result.degradation.sources {
+        println!("  source {source}");
+    }
     if let Some(note) = &cache_note {
         println!("{note}");
     }
@@ -565,6 +624,80 @@ mod tests {
             cmd.extend(extra.iter().map(|s| (*s).to_owned()));
             assert_eq!(run(&cmd), Ok(()), "flags {extra:?}");
         }
+        remove_artifact(&path);
+    }
+
+    #[test]
+    fn federated_query_runs_across_profile_mixes() {
+        let path = write_mini_csv();
+        let csv = path.to_str().unwrap();
+        let schema = "Make:cat,Model:cat,Price:num";
+        for extra in [
+            &["--sources", "3"][..],
+            &[
+                "--sources",
+                "4",
+                "--fault-profile-per-source",
+                "hostile,none",
+            ][..],
+            &["--sources", "2", "--replication", "1", "--hedge-delay", "0"][..],
+            &["--sources", "3", "--faults", "flaky", "--no-cache", "true"][..],
+        ] {
+            let mut cmd = argv(&[
+                "query",
+                "--csv",
+                csv,
+                "--schema",
+                schema,
+                "--query",
+                "Model like Camry",
+                "--tsim",
+                "0.2",
+                "--sample",
+                "8",
+            ]);
+            cmd.extend(extra.iter().map(|s| (*s).to_owned()));
+            assert_eq!(run(&cmd), Ok(()), "flags {extra:?}");
+        }
+        remove_artifact(&path);
+    }
+
+    #[test]
+    fn federation_flag_misuse_is_reported() {
+        let path = write_mini_csv();
+        let csv = path.to_str().unwrap();
+        let schema = "Make:cat,Model:cat,Price:num";
+        let base = |extra: &[&str]| {
+            let mut cmd = argv(&[
+                "query",
+                "--csv",
+                csv,
+                "--schema",
+                schema,
+                "--query",
+                "Model like Camry",
+            ]);
+            cmd.extend(extra.iter().map(|s| (*s).to_owned()));
+            cmd
+        };
+        let err = run(&base(&["--sources", "0"])).unwrap_err();
+        assert!(err.contains("--sources"), "{err}");
+        let err = run(&base(&[
+            "--sources",
+            "2",
+            "--fault-profile-per-source",
+            "none,chaotic",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("chaotic"), "{err}");
+        let err = run(&base(&[
+            "--sources",
+            "2",
+            "--fault-profile-per-source",
+            "none,none,none",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("3 profiles for 2 sources"), "{err}");
         remove_artifact(&path);
     }
 

@@ -5,7 +5,7 @@ use std::fmt;
 
 use aimq_catalog::{AttrId, ImpreciseQuery, SelectionQuery, Tuple};
 use aimq_sim::SimilarityModel;
-use aimq_storage::{QueryError, QueryPage, WebDatabase};
+use aimq_storage::{QueryError, QueryPage, SourceHealth, WebDatabase};
 
 use crate::base_query::derive_base_set_memoized;
 use crate::bind::tuple_query_for;
@@ -129,7 +129,7 @@ impl fmt::Display for Completeness {
 /// successful attempt here, with the raw churn visible in
 /// [`DegradationReport::retries`] (taken from the source's access-meter
 /// delta).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DegradationReport {
     /// Probe queries the engine issued (base derivation + relaxation).
     /// Planned probes answered by the in-call dedup memo are *not*
@@ -157,6 +157,12 @@ pub struct DegradationReport {
     /// The source became [`QueryError::Unavailable`] mid-query; all work
     /// after that point was abandoned.
     pub source_lost: bool,
+    /// Per-source completeness breakdown, populated when the source is a
+    /// federation (`aimq_storage::FederatedWebDb`): scatter outcomes,
+    /// contributed tuples, hedges and breaker state per member, scoped to
+    /// this call via [`aimq_storage::SourceHealth::since`]. Empty for
+    /// single-source databases.
+    pub sources: Vec<SourceHealth>,
     /// The overall verdict.
     pub completeness: Completeness,
 }
@@ -209,7 +215,11 @@ impl fmt::Display for DegradationReport {
             self.retries,
             self.breaker_trips,
             if self.source_lost { " source-lost" } else { "" }
-        )
+        )?;
+        for source in &self.sources {
+            write!(f, " [{source}]")?;
+        }
+        Ok(())
     }
 }
 
@@ -341,6 +351,7 @@ pub fn answer_imprecise_query(
     config: &EngineConfig,
 ) -> AnswerSet {
     let stats_before = db.stats();
+    let sources_before = db.source_health();
     let mut degradation = DegradationReport::default();
     let mut memo = ProbeMemo::new(config.dedup_probes);
 
@@ -494,6 +505,16 @@ pub fn answer_imprecise_query(
     let delta = stats_after.since(&stats_before);
     degradation.retries = delta.retries;
     degradation.breaker_trips = delta.breaker_trips;
+    // Per-source breakdown: scope each member's counters to this call by
+    // differencing the federation's health table around it. Members are
+    // matched positionally — the federation's member order is stable.
+    if let (Some(before), Some(after)) = (sources_before, db.source_health()) {
+        degradation.sources = after
+            .iter()
+            .zip(before.iter())
+            .map(|(a, b)| a.since(b))
+            .collect();
+    }
     let faulted = degradation.probes_failed > 0
         || degradation.probes_skipped > 0
         || degradation.truncated_pages > 0
@@ -563,6 +584,26 @@ mod tests {
             retries: 5,
             breaker_trips: 1,
             source_lost: true,
+            sources: vec![
+                SourceHealth {
+                    name: "s0".into(),
+                    probes_attempted: 6,
+                    probes_failed: 0,
+                    tuples_contributed: 40,
+                    hedges_fired: 0,
+                    hedges_won: 0,
+                    breaker_open: false,
+                },
+                SourceHealth {
+                    name: "s1".into(),
+                    probes_attempted: 6,
+                    probes_failed: 2,
+                    tuples_contributed: 0,
+                    hedges_fired: 2,
+                    hedges_won: 1,
+                    breaker_open: true,
+                },
+            ],
             completeness: Completeness::Partial,
         };
         let line = r.to_string();
@@ -570,6 +611,7 @@ mod tests {
         assert!(line.contains("completeness=partial"));
         assert!(line.contains("deduped=7"));
         assert!(line.contains("source-lost"));
+        assert!(line.contains("[s1: probes=6 failed=2 contributed=0 hedges=1/2 breaker-open]"));
         assert!(r.is_degraded());
     }
 

@@ -1,0 +1,319 @@
+//! **Federation — recall vs number of failed sources.**
+//!
+//! The paper's title says autonomous web data*bases*; this runner makes
+//! the reproduction serve several of them at once. CarDB is sharded into
+//! [`N_SOURCES`] simulated sources (2-way replicated fragments, each
+//! source behind its own fault-injection → retry/breaker → cache stack)
+//! and the same workload is replayed while an increasing number of
+//! sources runs the `hostile` profile ([`FAILED_LADDER`], failing
+//! sources spread so no two adjacent members die together).
+//!
+//! The reference is the *fault-free federated* run — same shard
+//! geometry, all members benign — which by the merge-determinism
+//! contract equals the single-source answer byte for byte (pinned by
+//! `tests/federation.rs`). The robustness claims mirrored here:
+//!
+//! * with 2 of 8 sources hostile, top-k recall stays ≥ 0.9 and no
+//!   query degrades to `Empty` — overlap and hedged probes cover the
+//!   failing members' fragments;
+//! * the loss that does occur is *reported*: failed probes, truncated
+//!   merges and fired hedges show up in the per-source breakdown of
+//!   each answer's [`aimq::DegradationReport`], never silently.
+
+use aimq::{AnswerSet, Completeness, EngineConfig};
+use aimq_catalog::ImpreciseQuery;
+use aimq_data::CarDb;
+use aimq_storage::{FaultProfile, FederatedWebDb, FederationPolicy, SourceSpec};
+
+use crate::experiments::common::{pick_query_rows, train_cardb};
+use crate::{Scale, TextTable};
+
+/// Member sources the relation is sharded into.
+pub const N_SOURCES: usize = 8;
+
+/// Replication factor: each fragment lives on this many members.
+pub const REPLICATION: usize = 2;
+
+/// Numbers of hostile sources per rung.
+pub const FAILED_LADDER: &[usize] = &[0, 1, 2, 4];
+
+/// Outcome of one rung (a fixed number of hostile sources).
+#[derive(Debug, Clone)]
+pub struct FederationRung {
+    /// Members running the `hostile` profile.
+    pub failed_sources: usize,
+    /// Mean top-k recall against the fault-free federated run.
+    pub recall: f64,
+    /// Queries answered with [`Completeness::Full`].
+    pub full: usize,
+    /// Queries answered with [`Completeness::Partial`].
+    pub partial: usize,
+    /// Queries answered with [`Completeness::Empty`].
+    pub empty: usize,
+    /// Member probes that failed post-resilience, summed over the
+    /// workload's per-source breakdowns.
+    pub probes_failed: u64,
+    /// Hedged probes fired to mirror sources.
+    pub hedges_fired: u64,
+    /// Hedged probes whose mirror returned a page.
+    pub hedges_won: u64,
+    /// Distinct tuples merged into answers, summed over sources.
+    pub tuples_contributed: u64,
+}
+
+/// Result of the federation experiment.
+#[derive(Debug, Clone)]
+pub struct FederationResult {
+    /// One rung per entry of [`FAILED_LADDER`].
+    pub rungs: Vec<FederationRung>,
+    /// Number of workload queries.
+    pub n_queries: usize,
+    /// Member sources in the federation.
+    pub n_sources: usize,
+}
+
+impl FederationResult {
+    /// The rung with `failed` hostile sources.
+    pub fn rung(&self, failed: usize) -> Option<&FederationRung> {
+        self.rungs.iter().find(|r| r.failed_sources == failed)
+    }
+
+    /// Render the ladder.
+    pub fn render(&self) -> TextTable {
+        let mut t = TextTable::new(
+            format!(
+                "Federation: recall vs failed sources ({} of {} sources hostile, \
+                 {}-way replication, {} queries)",
+                FAILED_LADDER.last().copied().unwrap_or(0),
+                self.n_sources,
+                REPLICATION,
+                self.n_queries
+            ),
+            &[
+                "failed",
+                "recall",
+                "full/partial/empty",
+                "probes failed",
+                "hedges won/fired",
+                "contributed",
+            ],
+        );
+        for r in &self.rungs {
+            t.row(vec![
+                r.failed_sources.to_string(),
+                format!("{:.3}", r.recall),
+                format!("{}/{}/{}", r.full, r.partial, r.empty),
+                r.probes_failed.to_string(),
+                format!("{}/{}", r.hedges_won, r.hedges_fired),
+                r.tuples_contributed.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+/// Indices of the `failed` hostile members, spread around the ring so no
+/// two adjacent members (a fragment and its only replica) die together
+/// while `failed <= n / replication`.
+pub fn failed_indices(failed: usize, n: usize) -> Vec<usize> {
+    (0..failed.min(n)).map(|j| j * n / failed.max(1)).collect()
+}
+
+/// Source specs for one rung: `failed` hostile members among `n`.
+fn rung_specs(failed: usize, n: usize, seed: u64) -> Vec<SourceSpec> {
+    let hostile = failed_indices(failed, n);
+    (0..n)
+        .map(|i| SourceSpec {
+            profile: if hostile.contains(&i) {
+                FaultProfile::hostile()
+            } else {
+                FaultProfile::none()
+            },
+            fault_seed: seed.wrapping_add(i as u64),
+            ..SourceSpec::benign(format!("s{i}"))
+        })
+        .collect()
+}
+
+/// Answer keys of a run's top-k, order-insensitive.
+fn answer_keys(result: &AnswerSet) -> Vec<String> {
+    let mut keys: Vec<String> = result
+        .answers
+        .iter()
+        .map(|a| format!("{:?}", a.tuple))
+        .collect();
+    keys.sort();
+    keys
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale, seed: u64) -> FederationResult {
+    let relation = CarDb::generate(scale.cardb(), seed);
+    let sample = relation.random_sample(scale.size(25_000), seed.wrapping_add(1));
+    let system = train_cardb(&sample);
+
+    let n_queries = scale.count(10);
+    let query_rows = pick_query_rows(&relation, n_queries, seed.wrapping_add(2));
+    let queries: Vec<ImpreciseQuery> = query_rows
+        .iter()
+        .map(|&row| ImpreciseQuery::from_tuple(&relation.tuple(row)).expect("non-null tuple"))
+        .collect();
+    let config = EngineConfig {
+        t_sim: 0.5,
+        top_k: 10,
+        ..EngineConfig::default()
+    };
+
+    // The fault-free federated reference: same shard geometry, all
+    // members benign.
+    let reference: Vec<Vec<String>> = {
+        let fed = FederatedWebDb::shard(
+            &relation,
+            &rung_specs(0, N_SOURCES, seed),
+            REPLICATION,
+            FederationPolicy::default(),
+        )
+        .expect("non-empty federation");
+        queries
+            .iter()
+            .map(|q| answer_keys(&system.answer(&fed, q, &config)))
+            .collect()
+    };
+
+    let mut rungs = Vec::new();
+    for &failed in FAILED_LADDER {
+        let fed = FederatedWebDb::shard(
+            &relation,
+            &rung_specs(failed, N_SOURCES, seed),
+            REPLICATION,
+            FederationPolicy::default(),
+        )
+        .expect("non-empty federation");
+
+        let mut rung = FederationRung {
+            failed_sources: failed,
+            recall: 0.0,
+            full: 0,
+            partial: 0,
+            empty: 0,
+            probes_failed: 0,
+            hedges_fired: 0,
+            hedges_won: 0,
+            tuples_contributed: 0,
+        };
+        let mut recalls = Vec::new();
+        for (q, expected) in queries.iter().zip(&reference) {
+            let result = system.answer(&fed, q, &config);
+            let d = &result.degradation;
+            match d.completeness {
+                Completeness::Full => rung.full += 1,
+                Completeness::Partial => rung.partial += 1,
+                Completeness::Empty => rung.empty += 1,
+            }
+            for source in &d.sources {
+                rung.probes_failed += source.probes_failed;
+                rung.hedges_fired += source.hedges_fired;
+                rung.hedges_won += source.hedges_won;
+                rung.tuples_contributed += source.tuples_contributed;
+            }
+            if !expected.is_empty() {
+                let got = answer_keys(&result);
+                let hit = expected.iter().filter(|k| got.contains(k)).count();
+                recalls.push(hit as f64 / expected.len() as f64);
+            }
+        }
+        rung.recall = if recalls.is_empty() {
+            1.0
+        } else {
+            recalls.iter().sum::<f64>() / recalls.len() as f64
+        };
+        rungs.push(rung);
+    }
+
+    FederationResult {
+        rungs,
+        n_queries,
+        n_sources: N_SOURCES,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> FederationResult {
+        run(Scale::quick(), 23)
+    }
+
+    #[test]
+    fn failed_indices_are_spread_never_adjacent_at_half_replication() {
+        for failed in [1usize, 2, 4] {
+            let idx = failed_indices(failed, N_SOURCES);
+            assert_eq!(idx.len(), failed);
+            for pair in idx.windows(2) {
+                assert!(
+                    pair[1] - pair[0] >= 2,
+                    "adjacent hostile members {pair:?} would kill a fragment \
+                     and its only replica"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_rung_is_a_perfect_baseline() {
+        let r = result();
+        let clean = r.rung(0).unwrap();
+        assert!((clean.recall - 1.0).abs() < 1e-12);
+        assert_eq!(clean.partial + clean.empty, 0);
+        assert_eq!(clean.probes_failed, 0);
+        assert!(clean.tuples_contributed > 0);
+    }
+
+    #[test]
+    fn two_hostile_sources_stay_partial_never_empty_with_recall_090() {
+        let r = result();
+        let rung = r.rung(2).unwrap();
+        assert_eq!(rung.empty, 0, "quorum + overlap must prevent Empty");
+        assert!(
+            rung.recall >= 0.9,
+            "recall {:.3} below the 0.9 floor with 2/8 hostile",
+            rung.recall
+        );
+    }
+
+    #[test]
+    fn degraded_rungs_report_their_damage_per_source() {
+        let r = result();
+        for rung in &r.rungs {
+            if rung.recall < 1.0 || rung.partial > 0 {
+                assert!(
+                    rung.probes_failed > 0 || rung.partial > 0,
+                    "loss with no per-source evidence: {rung:?}"
+                );
+            }
+        }
+        // Hostile members fail probes; every failure fires a hedge at
+        // its mirror, and those hedges must be counted.
+        let worst = r.rung(4).unwrap();
+        if worst.probes_failed > 0 {
+            assert!(worst.hedges_fired >= worst.probes_failed);
+            assert!(worst.hedges_won <= worst.hedges_fired);
+        }
+    }
+
+    #[test]
+    fn same_seed_reruns_are_identical() {
+        let a = result();
+        let b = result();
+        for (x, y) in a.rungs.iter().zip(&b.rungs) {
+            assert_eq!(format!("{x:?}"), format!("{y:?}"));
+        }
+    }
+
+    #[test]
+    fn render_has_a_row_per_rung() {
+        let r = result();
+        assert_eq!(r.render().len(), FAILED_LADDER.len());
+    }
+}

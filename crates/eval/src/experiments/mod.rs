@@ -10,6 +10,7 @@ pub mod ablation;
 pub mod cache;
 pub mod common;
 pub mod faults;
+pub mod federation;
 pub mod feedback;
 pub mod fig3;
 pub mod fig4;

@@ -94,6 +94,10 @@ pub struct ServeRung {
     pub identical: bool,
     /// Serving counters (admissions, latency histogram, utilization).
     pub stats: ServeStatsSnapshot,
+    /// Source-stack access meter for this rung (cache hits/misses,
+    /// breaker trips), so degraded runs are visible without parsing the
+    /// JSON artifact.
+    pub source: AccessStats,
 }
 
 /// Result of the serve bench.
@@ -127,6 +131,20 @@ impl ServeBenchResult {
     /// single-threaded engine.
     pub fn all_identical(&self) -> bool {
         self.rungs.iter().all(|r| r.identical)
+    }
+
+    /// One-line counter digest across all rungs: dropped replies,
+    /// breaker trips and cache traffic. Printed by `aimq serve-bench`
+    /// so degraded runs surface in the terminal, not just the JSON.
+    pub fn counters_line(&self) -> String {
+        let dropped: u64 = self.rungs.iter().map(|r| r.stats.replies_dropped).sum();
+        let trips: u64 = self.rungs.iter().map(|r| r.source.breaker_trips).sum();
+        let hits: u64 = self.rungs.iter().map(|r| r.source.cache_hits).sum();
+        let misses: u64 = self.rungs.iter().map(|r| r.source.cache_misses).sum();
+        format!(
+            "counters: {dropped} replies dropped, {trips} breaker trips, \
+             cache {hits} hits / {misses} misses"
+        )
     }
 
     /// Render the ladder.
@@ -232,6 +250,7 @@ pub fn run(scale: Scale, seed: u64) -> ServeBenchResult {
             4096,
             8,
         ));
+        let source_view = Arc::clone(&stack);
         let server = QueryServer::start(
             Arc::clone(&system),
             stack,
@@ -275,6 +294,7 @@ pub fn run(scale: Scale, seed: u64) -> ServeBenchResult {
             },
             identical,
             stats,
+            source: source_view.stats(),
         });
     }
 
@@ -318,6 +338,19 @@ mod tests {
                 r.n_queries as u64
             );
         }
+    }
+
+    #[test]
+    fn counters_line_surfaces_cache_traffic_and_drops() {
+        let r = result();
+        let line = r.counters_line();
+        assert!(line.contains("replies dropped"), "{line}");
+        assert!(line.contains("breaker trips"), "{line}");
+        assert!(line.contains("cache"), "{line}");
+        // Every rung probes a cold cache at least once, so the digest
+        // can never claim an idle source.
+        let misses: u64 = r.rungs.iter().map(|x| x.source.cache_misses).sum();
+        assert!(misses > 0);
     }
 
     #[test]

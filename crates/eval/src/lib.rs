@@ -20,6 +20,7 @@
 //! | Fault matrix: degradation under source failures (extension) | — | [`experiments::faults`] |
 //! | Probe economy: dedup + cache vs the seed engine (extension) | — | [`experiments::cache`] |
 //! | Serve bench: concurrent serving throughput ladder (extension) | — | [`experiments::serve`] |
+//! | Federation: recall vs number of failed sources (extension) | — | [`experiments::federation`] |
 //!
 //! Each runner is a pure function of a [`Scale`] (dataset sizes) and a
 //! seed, returns a typed result struct, and renders the same rows/series

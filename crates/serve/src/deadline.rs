@@ -84,6 +84,10 @@ impl WebDatabase for DeadlineWebDb<'_> {
     fn reset_stats(&self) {
         self.inner.reset_stats();
     }
+
+    fn source_health(&self) -> Option<Vec<aimq_storage::SourceHealth>> {
+        self.inner.source_health()
+    }
 }
 
 #[cfg(test)]

@@ -263,6 +263,10 @@ impl<D: WebDatabase> WebDatabase for CachedWebDb<D> {
             state.evictions = 0;
         }
     }
+
+    fn source_health(&self) -> Option<Vec<crate::SourceHealth>> {
+        self.inner.source_health()
+    }
 }
 
 #[cfg(test)]

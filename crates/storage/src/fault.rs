@@ -335,6 +335,10 @@ impl<D: WebDatabase> WebDatabase for FaultInjectingWebDb<D> {
         state.injected_truncations = 0;
         state.clipped_tuples = 0;
     }
+
+    fn source_health(&self) -> Option<Vec<crate::SourceHealth>> {
+        self.inner.source_health()
+    }
 }
 
 #[cfg(test)]

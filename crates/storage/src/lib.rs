@@ -47,6 +47,7 @@ mod csv;
 mod dictionary;
 mod executor;
 mod fault;
+mod federated;
 mod relation;
 mod resilient;
 mod sampler;
@@ -58,6 +59,9 @@ pub use csv::{read_csv, write_csv, CsvError};
 pub use dictionary::Dictionary;
 pub use executor::{execute, execute_rows};
 pub use fault::{FaultInjectingWebDb, FaultProfile, RateLimitWindow, TruncationPolicy};
+pub use federated::{
+    FederatedSource, FederatedWebDb, FederationPolicy, SchemaMapping, SourceHealth, SourceSpec,
+};
 pub use relation::{Relation, RelationBuilder, RowId};
 pub use resilient::{ResilienceReport, ResilientWebDb, RetryPolicy, VirtualClock};
 pub use sampler::{probe_by_spanning_queries, random_sample, ProbeError};

@@ -97,6 +97,9 @@ pub struct ResilienceReport {
     /// Closed → open breaker transitions.
     // aimq-arith: counter -- monotone event tally
     pub breaker_trips: u64,
+    /// Half-open trial probes that succeeded and closed the breaker.
+    // aimq-arith: counter -- monotone event tally
+    pub breaker_recoveries: u64,
     /// Probes rejected without touching the source (open breaker or
     /// exhausted budget).
     // aimq-arith: counter -- monotone event tally
@@ -113,6 +116,10 @@ struct ResilientState {
     consecutive_failures: u32,
     /// `Some(tick)` while the breaker is open; half-opens at `tick`.
     open_until: Option<u64>,
+    /// `true` between a half-open admission and the trial probe's verdict:
+    /// the next success counts as a recovery, the next failure re-opens
+    /// the breaker immediately with a fresh cooldown.
+    half_open: bool,
     report: ResilienceReport,
 }
 
@@ -148,6 +155,7 @@ impl<D: WebDatabase> ResilientWebDb<D> {
                 rng: StdRng::seed_from_u64(policy.jitter_seed),
                 consecutive_failures: 0,
                 open_until: None,
+                half_open: false,
                 report: ResilienceReport::default(),
             })),
         }
@@ -201,11 +209,17 @@ impl<D: WebDatabase> ResilientWebDb<D> {
         base + jitter
     }
 
-    /// Record a failed attempt; trips the breaker at the threshold.
+    /// Record a failed attempt; trips the breaker at the threshold. A
+    /// failed half-open trial re-opens the breaker immediately with a
+    /// fresh cooldown — the source has not proven itself healthy, so it
+    /// does not get `breaker_threshold` fresh failures of grace.
     fn note_failure(&self, state: &mut ResilientState) {
         state.consecutive_failures = state.consecutive_failures.saturating_add(1);
-        if self.policy.breaker_threshold > 0
-            && state.consecutive_failures >= self.policy.breaker_threshold
+        if self.policy.breaker_threshold == 0 {
+            return;
+        }
+        let failed_trial = std::mem::take(&mut state.half_open);
+        if (failed_trial || state.consecutive_failures >= self.policy.breaker_threshold)
             && state.open_until.is_none()
         {
             state.open_until = Some(self.clock.now() + self.policy.breaker_cooldown);
@@ -237,6 +251,7 @@ impl<D: WebDatabase> WebDatabase for ResilientWebDb<D> {
                     // Cooldown elapsed: half-open, admit one trial.
                     state.open_until = None;
                     state.consecutive_failures = 0;
+                    state.half_open = true;
                 }
                 // Probe budget is spent per attempt, retries included.
                 if let Some(budget) = self.policy.probe_budget {
@@ -252,6 +267,10 @@ impl<D: WebDatabase> WebDatabase for ResilientWebDb<D> {
                 Ok(page) => {
                     let mut state = lock_stats(&self.state);
                     state.consecutive_failures = 0;
+                    if std::mem::take(&mut state.half_open) {
+                        state.report.breaker_recoveries =
+                            state.report.breaker_recoveries.saturating_add(1);
+                    }
                     return Ok(page);
                 }
                 Err(error) => {
@@ -281,6 +300,9 @@ impl<D: WebDatabase> WebDatabase for ResilientWebDb<D> {
             breaker_trips: inner
                 .breaker_trips
                 .saturating_add(state.report.breaker_trips),
+            breaker_recoveries: inner
+                .breaker_recoveries
+                .saturating_add(state.report.breaker_recoveries),
             ..inner
         }
     }
@@ -288,6 +310,10 @@ impl<D: WebDatabase> WebDatabase for ResilientWebDb<D> {
     fn reset_stats(&self) {
         self.inner.reset_stats();
         lock_stats(&self.state).report = ResilienceReport::default();
+    }
+
+    fn source_health(&self) -> Option<Vec<crate::SourceHealth>> {
+        self.inner.source_health()
     }
 }
 
@@ -439,6 +465,126 @@ mod tests {
         }
         assert!(successes > 0, "breaker must keep half-opening");
         assert!(db.report().breaker_trips > 0);
+    }
+
+    /// An inner source that plays a fixed fail/succeed script, front
+    /// first; once the script runs dry every probe succeeds. Gives the
+    /// half-open tests fully deterministic fault timing.
+    struct ScriptedDb {
+        inner: InMemoryWebDb,
+        script: Mutex<std::collections::VecDeque<bool>>,
+    }
+
+    impl ScriptedDb {
+        fn failing_first(failures: &[bool]) -> Self {
+            ScriptedDb {
+                inner: base_db(),
+                script: Mutex::new(failures.iter().copied().collect()),
+            }
+        }
+    }
+
+    impl WebDatabase for ScriptedDb {
+        fn schema(&self) -> &Schema {
+            self.inner.schema()
+        }
+
+        fn try_query(&self, query: &SelectionQuery) -> Result<QueryPage, QueryError> {
+            let fail = lock_stats(&self.script).pop_front().unwrap_or(false);
+            if fail {
+                Err(QueryError::Transient)
+            } else {
+                self.inner.try_query(query)
+            }
+        }
+
+        fn stats(&self) -> AccessStats {
+            self.inner.stats()
+        }
+
+        fn reset_stats(&self) {
+            self.inner.reset_stats();
+        }
+    }
+
+    fn half_open_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            max_jitter: 0,
+            breaker_threshold: 2,
+            breaker_cooldown: 3,
+            ..RetryPolicy::default()
+        }
+    }
+
+    #[test]
+    fn half_open_success_closes_breaker_and_counts_recovery() {
+        // Two failures trip the threshold-2 breaker; the half-open trial
+        // succeeds, which must close the breaker and count one recovery.
+        let db = ResilientWebDb::new(ScriptedDb::failing_first(&[true, true]), half_open_policy());
+        assert!(db.try_query(&SelectionQuery::all()).is_err());
+        assert!(db.try_query(&SelectionQuery::all()).is_err());
+        assert!(db.breaker_open());
+        assert_eq!(db.report().breaker_trips, 1);
+        // Three fast-fails walk the clock through the cooldown.
+        for _ in 0..3 {
+            assert_eq!(
+                db.try_query(&SelectionQuery::all()),
+                Err(QueryError::Unavailable)
+            );
+        }
+        assert!(!db.breaker_open());
+        // Half-open trial: succeeds, breaker closes, recovery counted.
+        assert!(db.try_query(&SelectionQuery::all()).is_ok());
+        assert!(!db.breaker_open());
+        assert_eq!(db.report().breaker_recoveries, 1);
+        assert_eq!(db.stats().breaker_recoveries, 1);
+        // Steady state: subsequent probes flow without fast-fails.
+        let fast_failures = db.report().fast_failures;
+        assert!(db.try_query(&SelectionQuery::all()).is_ok());
+        assert_eq!(db.report().fast_failures, fast_failures);
+        // A recovery is not a second trip.
+        assert_eq!(db.report().breaker_trips, 1);
+    }
+
+    #[test]
+    fn half_open_failure_reopens_with_fresh_cooldown() {
+        // Two failures trip the breaker; the half-open trial fails too,
+        // which must re-open the breaker *immediately* (no threshold-2
+        // grace) with a fresh cooldown, and count no recovery.
+        let db = ResilientWebDb::new(
+            ScriptedDb::failing_first(&[true, true, true]),
+            half_open_policy(),
+        );
+        assert!(db.try_query(&SelectionQuery::all()).is_err());
+        assert!(db.try_query(&SelectionQuery::all()).is_err());
+        assert_eq!(db.report().breaker_trips, 1);
+        for _ in 0..3 {
+            assert_eq!(
+                db.try_query(&SelectionQuery::all()),
+                Err(QueryError::Unavailable)
+            );
+        }
+        assert!(!db.breaker_open());
+        // Half-open trial fails: single failure re-trips the breaker.
+        assert_eq!(
+            db.try_query(&SelectionQuery::all()),
+            Err(QueryError::Transient)
+        );
+        assert!(db.breaker_open(), "failed trial must re-open the breaker");
+        assert_eq!(db.report().breaker_trips, 2);
+        assert_eq!(db.report().breaker_recoveries, 0);
+        // Fresh cooldown: three more rejections before the next trial,
+        // which succeeds (script exhausted) and finally recovers.
+        for _ in 0..3 {
+            assert_eq!(
+                db.try_query(&SelectionQuery::all()),
+                Err(QueryError::Unavailable)
+            );
+        }
+        assert!(db.try_query(&SelectionQuery::all()).is_ok());
+        assert_eq!(db.report().breaker_recoveries, 1);
+        assert!(!db.breaker_open());
     }
 
     #[test]

@@ -104,6 +104,8 @@ pub struct AccessStats {
     pub truncated_queries: u64,
     /// Times a circuit breaker transitioned closed → open.
     pub breaker_trips: u64,
+    /// Times a half-open trial probe succeeded and closed the breaker.
+    pub breaker_recoveries: u64,
     /// Probes answered from a [`crate::CachedWebDb`] memo without touching
     /// the source (not counted in [`AccessStats::queries_issued`]).
     pub cache_hits: u64,
@@ -127,9 +129,35 @@ impl AccessStats {
                 .truncated_queries
                 .saturating_sub(earlier.truncated_queries),
             breaker_trips: self.breaker_trips.saturating_sub(earlier.breaker_trips),
+            breaker_recoveries: self
+                .breaker_recoveries
+                .saturating_sub(earlier.breaker_recoveries),
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
             cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
+        }
+    }
+
+    /// Per-field saturating sum of two meters, used by federating
+    /// decorators that aggregate several member sources' stats into one
+    /// view.
+    #[must_use]
+    pub fn merge(&self, other: &AccessStats) -> AccessStats {
+        AccessStats {
+            queries_issued: self.queries_issued.saturating_add(other.queries_issued),
+            tuples_returned: self.tuples_returned.saturating_add(other.tuples_returned),
+            failures: self.failures.saturating_add(other.failures),
+            retries: self.retries.saturating_add(other.retries),
+            truncated_queries: self
+                .truncated_queries
+                .saturating_add(other.truncated_queries),
+            breaker_trips: self.breaker_trips.saturating_add(other.breaker_trips),
+            breaker_recoveries: self
+                .breaker_recoveries
+                .saturating_add(other.breaker_recoveries),
+            cache_hits: self.cache_hits.saturating_add(other.cache_hits),
+            cache_misses: self.cache_misses.saturating_add(other.cache_misses),
+            cache_evictions: self.cache_evictions.saturating_add(other.cache_evictions),
         }
     }
 }
@@ -144,7 +172,7 @@ pub(crate) fn lock_stats<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 
 /// Number of counters in [`AccessStats`], and the order they occupy in a
 /// [`StatsCell`]'s slot array.
-const STAT_SLOTS: usize = 9;
+const STAT_SLOTS: usize = 10;
 
 impl AccessStats {
     fn to_slots(self) -> [u64; STAT_SLOTS] {
@@ -155,6 +183,7 @@ impl AccessStats {
             self.retries,
             self.truncated_queries,
             self.breaker_trips,
+            self.breaker_recoveries,
             self.cache_hits,
             self.cache_misses,
             self.cache_evictions,
@@ -162,7 +191,7 @@ impl AccessStats {
     }
 
     fn from_slots(s: [u64; STAT_SLOTS]) -> AccessStats {
-        let [queries_issued, tuples_returned, failures, retries, truncated_queries, breaker_trips, cache_hits, cache_misses, cache_evictions] =
+        let [queries_issued, tuples_returned, failures, retries, truncated_queries, breaker_trips, breaker_recoveries, cache_hits, cache_misses, cache_evictions] =
             s;
         AccessStats {
             queries_issued,
@@ -171,6 +200,7 @@ impl AccessStats {
             retries,
             truncated_queries,
             breaker_trips,
+            breaker_recoveries,
             cache_hits,
             cache_misses,
             cache_evictions,
@@ -334,6 +364,14 @@ pub trait WebDatabase: Send + Sync {
 
     /// Reset the access meter (used between experiment runs).
     fn reset_stats(&self);
+
+    /// Per-source health breakdown, when this database federates several
+    /// member sources (see `FederatedWebDb`). Single-source databases
+    /// return `None`; decorators forward their inner database's answer so
+    /// the breakdown survives caching/resilience/deadline wrapping.
+    fn source_health(&self) -> Option<Vec<crate::SourceHealth>> {
+        None
+    }
 }
 
 /// An in-memory [`WebDatabase`] over a [`Relation`], standing in for the

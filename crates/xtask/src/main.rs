@@ -36,7 +36,7 @@ fn usage() {
     eprintln!(
         "usage: cargo xtask lint [--root DIR] [--deny-warnings] [--json] [--changed] \
          [--explain RULE]\n\
-         \x20      cargo xtask probes [--root DIR]\n\
+         \x20      cargo xtask probes [--root DIR] [--write]\n\
          \x20      cargo xtask annotate <lint.json>"
     );
 }
@@ -203,6 +203,7 @@ fn lint(args: Vec<String>) -> ExitCode {
 /// the two so a new probe path requires an explicit commit.
 fn probes(args: Vec<String>) -> ExitCode {
     let mut root = default_root();
+    let mut write = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -213,6 +214,7 @@ fn probes(args: Vec<String>) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--write" => write = true,
             other => {
                 eprintln!("unknown flag `{other}`");
                 usage();
@@ -222,8 +224,23 @@ fn probes(args: Vec<String>) -> ExitCode {
     }
     match xtask::probe_summary(&root) {
         Ok(summary) => {
+            let mut rendered = String::new();
             for entry in &summary.entries {
-                println!("{} {}", entry.path.display(), entry.fn_name);
+                rendered.push_str(&format!("{} {}\n", entry.path.display(), entry.fn_name));
+            }
+            if write {
+                let pin = root.join("results").join("PROBE_ENTRYPOINTS.txt");
+                if let Err(err) = std::fs::write(&pin, &rendered) {
+                    eprintln!("error: failed to write {}: {err}", pin.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!(
+                    "wrote {} entries to {}",
+                    summary.entries.len(),
+                    pin.display()
+                );
+            } else {
+                print!("{rendered}");
             }
             ExitCode::SUCCESS
         }

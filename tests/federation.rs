@@ -1,0 +1,364 @@
+//! End-to-end guarantees of the federation layer (ISSUE 7):
+//!
+//! 1. **merge determinism** — the fault-free federated top-k over K
+//!    overlapping fragments is byte-identical to the single-source
+//!    top-k on the union relation: same ranked tuples, similarity bit
+//!    patterns and provenance, and the same `DegradationReport` up to
+//!    the per-source breakdown (proptest across source counts,
+//!    replication factors and query choice);
+//! 2. **recall-bounded degradation** — with faulty members the answer
+//!    may lose tuples, but every loss is *reported*: recall < 1.0
+//!    implies a degraded completeness verdict, never a silent `Full`
+//!    (proptest across fault profiles and seeds);
+//! 3. **the acceptance configuration** — 8 sources, 2 hostile, 2-way
+//!    replication: completeness is `Partial`-at-worst (never `Empty`),
+//!    recall vs the fault-free federated run stays ≥ 0.9, and hedged
+//!    probes are visible in the per-source breakdown;
+//! 4. **serving** — the federated database is `Send + Sync` behind the
+//!    same `Arc<dyn WebDatabase>`, and the concurrent server answers
+//!    byte-identically to the single-threaded engine over it.
+//!
+//! The single-source baseline uses a *value-sorted, deduplicated* union
+//! relation: the federator merges pages in canonical value order after
+//! dedup by tuple identity, so the baseline must present the same page
+//! order (`InMemoryWebDb` pages follow row order) and the same tuple
+//! multiplicity (the federation collapses duplicates; one source holding
+//! two identical rows would not).
+//!
+//! CI runs this file once per federation-matrix cell; the cell's shape
+//! comes from `AIMQ_FED_SOURCES` / `AIMQ_FED_FAILED` (defaults 4 / 1).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+use aimq_suite::catalog::{ImpreciseQuery, Value};
+use aimq_suite::data::CarDb;
+use aimq_suite::engine::{AimqSystem, AnswerSet, Completeness, EngineConfig, TrainConfig};
+use aimq_suite::serve::{QueryServer, ServeConfig, Ticket};
+use aimq_suite::storage::{
+    FaultProfile, FederatedWebDb, FederationPolicy, InMemoryWebDb, Relation, SourceSpec,
+    WebDatabase,
+};
+use proptest::prelude::*;
+
+struct Harness {
+    relation: Relation,
+    system: AimqSystem,
+    queries: Vec<ImpreciseQuery>,
+}
+
+fn harness() -> &'static Harness {
+    static H: OnceLock<Harness> = OnceLock::new();
+    H.get_or_init(|| {
+        // Value-sorted, deduplicated union relation (see module docs).
+        let raw = CarDb::generate(900, 11);
+        let mut by_values: BTreeMap<Vec<Value>, aimq_suite::catalog::Tuple> = BTreeMap::new();
+        for row in raw.rows() {
+            let tuple = raw.tuple(row);
+            by_values.entry(tuple.values().to_vec()).or_insert(tuple);
+        }
+        let tuples: Vec<aimq_suite::catalog::Tuple> = by_values.into_values().collect();
+        let relation = Relation::from_tuples(raw.schema().clone(), &tuples).unwrap();
+
+        let sample = relation.random_sample(400, 5);
+        let system = AimqSystem::train(&sample, &TrainConfig::default()).unwrap();
+        let step = (relation.len() / 4).max(1) as u32;
+        let queries: Vec<ImpreciseQuery> = (0..4u32)
+            .map(|i| ImpreciseQuery::from_tuple(&relation.tuple(i * step)).unwrap())
+            .collect();
+        Harness {
+            relation,
+            system,
+            queries,
+        }
+    })
+}
+
+fn config() -> EngineConfig {
+    EngineConfig {
+        t_sim: 0.5,
+        top_k: 10,
+        ..EngineConfig::default()
+    }
+}
+
+/// Specs for `n` members with `hostile_at` running the hostile profile.
+fn specs(n: usize, hostile_at: &[usize], fault_seed: u64) -> Vec<SourceSpec> {
+    (0..n)
+        .map(|i| SourceSpec {
+            profile: if hostile_at.contains(&i) {
+                FaultProfile::hostile()
+            } else {
+                FaultProfile::none()
+            },
+            fault_seed: fault_seed.wrapping_add(i as u64),
+            ..SourceSpec::benign(format!("s{i}"))
+        })
+        .collect()
+}
+
+/// Ranked answers, byte-exact: tuple, similarity bits, provenance.
+fn ranking(result: &AnswerSet) -> Vec<String> {
+    result
+        .answers
+        .iter()
+        .map(|a| {
+            format!(
+                "{:?}@{:016x}:{:?}",
+                a.tuple,
+                a.similarity.to_bits(),
+                a.provenance
+            )
+        })
+        .collect()
+}
+
+/// Order-insensitive top-k answer keys, for recall.
+fn answer_keys(result: &AnswerSet) -> Vec<String> {
+    let mut keys: Vec<String> = result
+        .answers
+        .iter()
+        .map(|a| format!("{:?}", a.tuple))
+        .collect();
+    keys.sort();
+    keys
+}
+
+fn recall(expected: &[String], got: &[String]) -> f64 {
+    if expected.is_empty() {
+        return 1.0;
+    }
+    let hit = expected.iter().filter(|k| got.contains(k)).count();
+    hit as f64 / expected.len() as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Guarantee 1: fault-free federated == single-source, byte for
+    /// byte, across source counts, replication factors and queries.
+    #[test]
+    fn fault_free_federated_topk_is_byte_identical_to_single_source(
+        sources in 1usize..=6,
+        replication in 1usize..=3,
+        query_idx in 0usize..4,
+    ) {
+        let h = harness();
+        let q = &h.queries[query_idx];
+        let baseline = h.system.answer(&InMemoryWebDb::new(h.relation.clone()), q, &config());
+
+        let fed = FederatedWebDb::shard(
+            &h.relation,
+            &specs(sources, &[], 7),
+            replication,
+            FederationPolicy::default(),
+        )
+        .unwrap();
+        let federated = h.system.answer(&fed, q, &config());
+
+        prop_assert_eq!(ranking(&baseline), ranking(&federated));
+        prop_assert_eq!(&baseline.base_query, &federated.base_query);
+        prop_assert_eq!(baseline.base_set_size, federated.base_set_size);
+        // Identical degradation up to the per-source breakdown, which
+        // only the federation can populate.
+        let mut flattened = federated.degradation.clone();
+        prop_assert_eq!(
+            flattened.sources.len(),
+            sources,
+            "one health row per member"
+        );
+        flattened.sources.clear();
+        prop_assert_eq!(&flattened, &baseline.degradation);
+        prop_assert_eq!(flattened.completeness, Completeness::Full);
+    }
+
+    /// Guarantee 2: under member faults, any recall loss against the
+    /// fault-free federated run is reported as degradation — never a
+    /// silent `Full`.
+    #[test]
+    fn faulty_members_degrade_loudly_never_silently(
+        fault_seed in 0u64..=u64::MAX,
+        hostile_member in 0usize..4,
+        query_idx in 0usize..4,
+    ) {
+        let h = harness();
+        let q = &h.queries[query_idx];
+        let clean_fed = FederatedWebDb::shard(
+            &h.relation,
+            &specs(4, &[], fault_seed),
+            2,
+            FederationPolicy::default(),
+        )
+        .unwrap();
+        let expected = answer_keys(&h.system.answer(&clean_fed, q, &config()));
+
+        let faulty_fed = FederatedWebDb::shard(
+            &h.relation,
+            &specs(4, &[hostile_member], fault_seed),
+            2,
+            FederationPolicy::default(),
+        )
+        .unwrap();
+        let result = h.system.answer(&faulty_fed, q, &config());
+
+        let got = answer_keys(&result);
+        if recall(&expected, &got) < 1.0 {
+            prop_assert!(
+                result.degradation.is_degraded(),
+                "lost answers with completeness=Full: {:?}",
+                result.degradation
+            );
+        }
+        // The per-source breakdown always covers every member.
+        prop_assert_eq!(result.degradation.sources.len(), 4);
+    }
+}
+
+/// Guarantee 3: the ISSUE 7 acceptance configuration — 8 sources, 2
+/// hostile (spread so a fragment and its only replica never die
+/// together), 2-way replication. Partial at worst, recall ≥ 0.9,
+/// hedges visible in the breakdown.
+#[test]
+fn eight_sources_two_hostile_stay_partial_with_recall_090() {
+    let h = harness();
+    let clean_fed = FederatedWebDb::shard(
+        &h.relation,
+        &specs(8, &[], 42),
+        2,
+        FederationPolicy::default(),
+    )
+    .unwrap();
+    let hostile_fed = FederatedWebDb::shard(
+        &h.relation,
+        &specs(8, &[0, 4], 42),
+        2,
+        FederationPolicy::default(),
+    )
+    .unwrap();
+
+    let mut recalls = Vec::new();
+    let mut hedges_fired = 0u64;
+    let mut probes_failed = 0u64;
+    for q in &h.queries {
+        let expected = answer_keys(&h.system.answer(&clean_fed, q, &config()));
+        let result = h.system.answer(&hostile_fed, q, &config());
+        assert_ne!(
+            result.degradation.completeness,
+            Completeness::Empty,
+            "overlap + hedging must keep answers flowing: {:?}",
+            result.degradation
+        );
+        assert_eq!(result.degradation.sources.len(), 8);
+        for source in &result.degradation.sources {
+            hedges_fired += source.hedges_fired;
+            probes_failed += source.probes_failed;
+        }
+        recalls.push(recall(&expected, &answer_keys(&result)));
+    }
+    let mean = recalls.iter().sum::<f64>() / recalls.len() as f64;
+    assert!(
+        mean >= 0.9,
+        "mean recall {mean:.3} below the 0.9 acceptance floor ({recalls:?})"
+    );
+    assert!(
+        hedges_fired > 0,
+        "hostile members must trigger hedged probes (failed={probes_failed})"
+    );
+}
+
+/// CI federation-matrix cell: shape from `AIMQ_FED_SOURCES` /
+/// `AIMQ_FED_FAILED`. Uniform guarantee across the matrix: no panics,
+/// honest completeness, a full per-source breakdown, and a perfect
+/// answer whenever no member is hostile.
+#[test]
+fn federation_matrix_cell_degrades_gracefully() {
+    let env_usize = |name: &str, default: usize| {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(default)
+    };
+    let n = env_usize("AIMQ_FED_SOURCES", 4).max(1);
+    let failed = env_usize("AIMQ_FED_FAILED", 1).min(n);
+    // Spread the hostile members around the ring (same policy as the
+    // eval runner) so fragments keep a healthy replica while possible.
+    let hostile: Vec<usize> = (0..failed).map(|j| j * n / failed.max(1)).collect();
+
+    let h = harness();
+    let baseline = |q: &ImpreciseQuery| {
+        answer_keys(
+            &h.system
+                .answer(&InMemoryWebDb::new(h.relation.clone()), q, &config()),
+        )
+    };
+    let fed = FederatedWebDb::shard(
+        &h.relation,
+        &specs(n, &hostile, 19),
+        2,
+        FederationPolicy::default(),
+    )
+    .unwrap();
+
+    for q in &h.queries {
+        let result = h.system.answer(&fed, q, &config());
+        let d = &result.degradation;
+        assert_eq!(d.sources.len(), n);
+        let member_failures: u64 = d.sources.iter().map(|s| s.probes_failed).sum();
+        if failed == 0 {
+            assert_eq!(d.completeness, Completeness::Full, "{d:?}");
+            assert_eq!(member_failures, 0);
+            assert_eq!(answer_keys(&result), baseline(q));
+        }
+        if result.answers.is_empty() && d.is_degraded() {
+            assert_eq!(d.completeness, Completeness::Empty);
+        }
+    }
+}
+
+/// Guarantee 4: the federation serves concurrently behind
+/// `Arc<dyn WebDatabase>` — the worker pool's answers are
+/// byte-identical to the single-threaded engine over the same members.
+#[test]
+fn federated_db_serves_concurrently_with_identical_answers() {
+    let h = harness();
+    let fed = FederatedWebDb::shard(
+        &h.relation,
+        &specs(4, &[], 3),
+        2,
+        FederationPolicy::default(),
+    )
+    .unwrap();
+    let reference: Vec<Vec<String>> = h
+        .queries
+        .iter()
+        .map(|q| ranking(&h.system.answer(&fed, q, &config())))
+        .collect();
+
+    let system = Arc::new(
+        AimqSystem::train(&h.relation.random_sample(400, 5), &TrainConfig::default()).unwrap(),
+    );
+    let shared: Arc<dyn WebDatabase> = Arc::new(fed.clone());
+    let server = QueryServer::start(
+        system,
+        shared,
+        ServeConfig {
+            workers: 4,
+            queue_capacity: h.queries.len().max(1),
+            deadline_ticks: 0,
+            ticks_per_probe: 1,
+            engine: config(),
+        },
+    );
+    let tickets: Vec<Ticket> = h
+        .queries
+        .iter()
+        .map(|q| server.submit(q.clone()).expect("log fits the queue"))
+        .collect();
+    let served: Vec<Vec<String>> = tickets
+        .into_iter()
+        .map(|t| ranking(&t.wait().expect("benign members never fail").answer))
+        .collect();
+    server.shutdown();
+
+    assert_eq!(reference, served);
+}
