@@ -49,6 +49,17 @@ pub struct EngineConfig {
     /// default; turn off to reproduce the non-deduplicating engine (the
     /// eval harness does, to measure the saving).
     pub dedup_probes: bool,
+    /// Hand each base tuple's compiled probe plan to the source in one
+    /// [`WebDatabase::try_query_plan`] call instead of query-at-a-time.
+    /// Sources that support shared-plan evaluation (the in-memory
+    /// posting-list executor) evaluate the plan's common subexpressions
+    /// once; everything else inherits the sequential default, so the
+    /// per-query traffic, fault schedule positions, memo behavior and
+    /// answers are byte-identical either way. Automatically disabled
+    /// while [`EngineConfig::target_relevant`] is set: the early stop
+    /// can end a plan mid-tuple, and prefetching would issue probes a
+    /// sequential engine never would.
+    pub batch_plans: bool,
 }
 
 impl Default for EngineConfig {
@@ -61,6 +72,7 @@ impl Default for EngineConfig {
             target_relevant: None,
             max_steps_per_tuple: 256,
             dedup_probes: true,
+            batch_plans: true,
         }
     }
 }
@@ -395,6 +407,12 @@ pub fn answer_imprecise_query(
     // failure abandons the remaining plan (accounted below).
     let expanded_tuples = base_set.iter().take(config.max_base_tuples);
     let mut abandoned_at: Option<usize> = None;
+    // Whole-plan prefetch is an optimization, never a semantics change:
+    // it must issue the exact query sequence the sequential loop would
+    // (deterministic fault schedules key on query *position*). Under the
+    // early-stop target the sequential loop may end a plan mid-tuple, so
+    // batching stands down there.
+    let batch = config.batch_plans && config.target_relevant.is_none();
     'outer: for (base_index, t) in expanded_tuples.enumerate() {
         if degradation.source_lost {
             abandoned_at = Some(base_index);
@@ -404,30 +422,65 @@ pub fn answer_imprecise_query(
         let tuple_query = tuple_query_for(model, t, &bound);
         let mut plan = strategy.plan(&bound, config.max_relax_level);
         plan.truncate(config.max_steps_per_tuple);
-        for (step_index, step) in plan.iter().enumerate() {
-            let relaxed = tuple_query.relax(&step.attrs);
-            if relaxed.is_empty() {
+        // Each probe stores the canonical form of its relaxed query: the
+        // memo keys on it AND the probe itself is issued in canonical
+        // form, so a downstream `CachedWebDb` derives its cache key by
+        // borrowing instead of re-sorting (see
+        // `SelectionQuery::is_canonical`). Canonicalization is
+        // semantics-preserving, so the source sees an equivalent query.
+        let probes = crate::relax::compile_probes(&tuple_query, &plan);
+
+        // Batched path: issue this tuple's pending probes — the first
+        // occurrence of every non-empty query the memo can't replay, in
+        // step order, which for the built-in strategies (pairwise-distinct
+        // step keys) is exactly the sequence the sequential loop issues —
+        // through one `try_query_plan` call. Results are consumed by key
+        // below; a key with no prefetched result (duplicate step keys
+        // from a custom strategy, or a plan cut short by a terminal
+        // error) falls back to an individual probe.
+        let mut prefetched: BTreeMap<SelectionQuery, Result<QueryPage, QueryError>> =
+            BTreeMap::new();
+        if batch {
+            let mut pending: Vec<SelectionQuery> = Vec::new();
+            for probe in &probes {
+                if probe.query.predicates().is_empty()
+                    || memo.replay(&probe.query).is_some()
+                    || pending.contains(&probe.query)
+                {
+                    continue;
+                }
+                pending.push(probe.query.clone());
+            }
+            if !pending.is_empty() {
+                let results = db.try_query_plan(&pending);
+                // `results` may be a prefix (terminal error): consumption
+                // hits the terminal entry first and abandons, so the
+                // unpaired tail is never reached.
+                prefetched = pending.into_iter().zip(results).collect();
+            }
+        }
+
+        for (step_index, probe) in probes.iter().enumerate() {
+            let step = &probe.step;
+            let key = &probe.query;
+            if key.predicates().is_empty() {
                 continue;
             }
-            // The plan stores the canonical form next to the raw relaxed
-            // query: the memo keys on it AND the probe itself is issued
-            // in canonical form, so a downstream `CachedWebDb` derives
-            // its cache key by borrowing instead of re-sorting (see
-            // `SelectionQuery::is_canonical`). Canonicalization is
-            // semantics-preserving, so the source sees an equivalent
-            // query.
-            let key = relaxed.canonicalize();
-            let page = if let Some(page) = memo.replay(&key) {
+            let page = if let Some(page) = memo.replay(key) {
                 degradation.probes_deduped += 1;
                 page
             } else {
                 degradation.note_attempt();
-                match db.try_query(&key) {
+                let outcome = match prefetched.remove(key) {
+                    Some(result) => result,
+                    None => db.try_query(key),
+                };
+                match outcome {
                     Ok(page) => {
                         if page.truncated {
                             degradation.note_truncated();
                         }
-                        memo.record(key, &page);
+                        memo.record(key.clone(), &page);
                         page
                     }
                     Err(error) => {
@@ -435,7 +488,7 @@ pub fn answer_imprecise_query(
                         if degradation.source_lost {
                             // Account the rest of this tuple's plan, then
                             // fall to the outer abandonment bookkeeping.
-                            let remaining = &plan[step_index + 1..]; // aimq-lint: allow(indexing) -- step_index < plan.len(): it comes from enumerating the plan
+                            let remaining = &plan[step_index + 1..]; // aimq-lint: allow(indexing) -- step_index < plan.len(): probes and plan are 1:1 by compile_probes
                             degradation.probes_skipped += remaining.len() as u64;
                             degradation.levels_abandoned += distinct_levels(remaining);
                             abandoned_at = Some(base_index + 1);
@@ -809,6 +862,53 @@ mod behavior_tests {
         // entry; the old `extended.len() >= target` check would have
         // stopped after a single relaxed answer here.
         assert_eq!(result.stats.relevant_found, 1 + 2);
+    }
+
+    /// Tentpole: handing whole plans to the source
+    /// (`EngineConfig::batch_plans` → `try_query_plan`) is a pure
+    /// executor swap — answers, degradation counters and source-visible
+    /// traffic are byte-identical to the query-at-a-time engine, for
+    /// both dedup settings, on a clean source and through a seeded
+    /// fault-injecting decorator (whose `Sequenced` schedule keys fate
+    /// on query *position*, so any reordering would diverge).
+    #[test]
+    fn batched_plans_match_sequential_engine() {
+        use aimq_storage::{FaultInjectingWebDb, FaultProfile};
+
+        let run = |batch: bool, dedup: bool, faults: bool| {
+            let (db, model, q) = world();
+            let mut s = strategy(&model);
+            let config = EngineConfig {
+                t_sim: 0.05,
+                top_k: 10,
+                dedup_probes: dedup,
+                batch_plans: batch,
+                ..EngineConfig::default()
+            };
+            let result = if faults {
+                let db = FaultInjectingWebDb::new(db.clone(), FaultProfile::flaky(), 7);
+                answer_imprecise_query(&db, &q, &model, &mut s, &config)
+            } else {
+                answer_imprecise_query(&db, &q, &model, &mut s, &config)
+            };
+            (answer_fingerprint(&result), result.degradation, db.stats())
+        };
+
+        for dedup in [true, false] {
+            for faults in [false, true] {
+                let (fp_seq, deg_seq, stats_seq) = run(false, dedup, faults);
+                let (fp_bat, deg_bat, stats_bat) = run(true, dedup, faults);
+                assert_eq!(fp_bat, fp_seq, "answers (dedup={dedup} faults={faults})");
+                assert_eq!(
+                    deg_bat, deg_seq,
+                    "degradation (dedup={dedup} faults={faults})"
+                );
+                assert_eq!(
+                    stats_bat, stats_seq,
+                    "source meter (dedup={dedup} faults={faults})"
+                );
+            }
+        }
     }
 
     /// A source that dies for good after a fixed number of successes.

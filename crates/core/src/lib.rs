@@ -49,5 +49,7 @@ pub use engine::{
 };
 pub use feedback::FeedbackTuner;
 pub use persist::PersistError;
-pub use relax::{GuidedRelax, RandomRelax, RelaxationStep, RelaxationStrategy};
+pub use relax::{
+    compile_probes, GuidedRelax, PlannedProbe, RandomRelax, RelaxationStep, RelaxationStrategy,
+};
 pub use system::{AimqError, AimqSystem, TrainConfig};

@@ -1,5 +1,5 @@
 use aimq_afd::{combinations_in_order, AttributeOrdering};
-use aimq_catalog::AttrId;
+use aimq_catalog::{AttrId, SelectionQuery};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
@@ -28,6 +28,36 @@ impl RelaxationStep {
         let level = attrs.len();
         RelaxationStep { attrs, level }
     }
+}
+
+/// One entry of a compiled probe plan: a [`RelaxationStep`] paired with
+/// the canonical [`SelectionQuery`] the engine will issue for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedProbe {
+    /// The relaxation step this probe realizes.
+    pub step: RelaxationStep,
+    /// The canonicalized relaxed query. May be *empty* (every predicate
+    /// dropped); the engine skips empty probes, but they are kept here so
+    /// plan indices line up 1:1 with the strategy's steps.
+    pub query: SelectionQuery,
+}
+
+/// Compile a strategy's plan into the concrete query sequence Algorithm 1
+/// will issue for one base tuple: each step's attributes are dropped from
+/// `tuple_query` and the result canonicalized (the memo/cache key form).
+///
+/// This is the whole-plan view the shared-subexpression executor
+/// (`aimq-storage`'s `PlanExecutor`, reached via
+/// `WebDatabase::try_query_plan`) consumes: handing it the full ordered
+/// list instead of one query at a time is what lets the common base
+/// intersection be evaluated once per plan.
+pub fn compile_probes(tuple_query: &SelectionQuery, plan: &[RelaxationStep]) -> Vec<PlannedProbe> {
+    plan.iter()
+        .map(|step| PlannedProbe {
+            step: step.clone(),
+            query: tuple_query.relax(&step.attrs).canonicalize(),
+        })
+        .collect()
 }
 
 /// A query-relaxation strategy: given the bound attributes of a fully
@@ -319,6 +349,33 @@ mod tests {
         assert!(plan.iter().all(|s| s.attrs.len() == 1));
         let levels: Vec<usize> = plan.iter().map(|s| s.level).collect();
         assert_eq!(levels, vec![1, 2, 3], "same-size steps, distinct levels");
+    }
+
+    #[test]
+    fn compile_probes_aligns_with_plan_and_canonicalizes() {
+        use aimq_catalog::{Predicate, Value};
+        let tuple_query = SelectionQuery::new(vec![
+            Predicate::eq(AttrId(2), Value::cat("c")),
+            Predicate::eq(AttrId(0), Value::cat("a")),
+            Predicate::eq(AttrId(1), Value::cat("b")),
+        ]);
+        let plan = vec![
+            RelaxationStep::of(vec![AttrId(1)]),
+            RelaxationStep::of(vec![AttrId(0), AttrId(2)]),
+            // Dropping everything leaves an empty query — kept in place.
+            RelaxationStep::of(vec![AttrId(0), AttrId(1), AttrId(2)]),
+        ];
+        let probes = compile_probes(&tuple_query, &plan);
+        assert_eq!(probes.len(), plan.len());
+        for (probe, step) in probes.iter().zip(&plan) {
+            assert_eq!(&probe.step, step);
+            assert_eq!(probe.query, tuple_query.relax(&step.attrs).canonicalize());
+            assert!(probe.query.is_canonical());
+        }
+        assert!(probes[2].query.predicates().is_empty());
+        // The compiled query matches the engine's own relax+canonicalize
+        // key form, so memo lookups and plan entries agree byte-for-byte.
+        assert_eq!(probes[0].query.predicates().len(), 2);
     }
 
     #[test]

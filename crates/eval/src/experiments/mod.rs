@@ -18,6 +18,7 @@ pub mod fig5;
 pub mod fig67;
 pub mod fig8;
 pub mod fig9;
+pub mod postings;
 pub mod serve;
 pub mod table2;
 pub mod table3;

@@ -1,3 +1,4 @@
+// aimq-lint: allow(hashmap) -- import for the insert-only interning index below
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
@@ -11,6 +12,9 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Dictionary {
     values: Vec<String>,
+    /// Insert-only interning index; codes come from insertion order in
+    /// `values` and the map's iteration order is never observed.
+    // aimq-lint: allow(hashmap) -- insert-only lookup; ordering comes from `values`
     index: HashMap<String, u32>,
 }
 

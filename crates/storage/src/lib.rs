@@ -46,8 +46,10 @@ mod column;
 mod csv;
 mod dictionary;
 mod executor;
+mod facet;
 mod fault;
 mod federated;
+mod postings;
 mod relation;
 mod resilient;
 mod sampler;
@@ -57,11 +59,13 @@ pub use cache::{CachedWebDb, DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_STRIPES};
 pub use column::{Column, NULL_CODE};
 pub use csv::{read_csv, write_csv, CsvError};
 pub use dictionary::Dictionary;
-pub use executor::{execute, execute_rows};
+pub use executor::{access_path, execute, execute_rows, execute_rows_legacy, AccessPath};
+pub use facet::FacetTree;
 pub use fault::{FaultInjectingWebDb, FaultProfile, RateLimitWindow, TruncationPolicy};
 pub use federated::{
     FederatedSource, FederatedWebDb, FederationPolicy, SchemaMapping, SourceHealth, SourceSpec,
 };
+pub use postings::{execute_query, intersect_gallop, union_kway, ExecStats, PlanExecutor};
 pub use relation::{Relation, RelationBuilder, RowId};
 pub use resilient::{ResilienceReport, ResilientWebDb, RetryPolicy, VirtualClock};
 pub use sampler::{probe_by_spanning_queries, random_sample, ProbeError};

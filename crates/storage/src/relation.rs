@@ -2,7 +2,7 @@ use aimq_catalog::{AttrId, CatalogError, Domain, Result, Schema, Tuple, Value};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::{Column, Dictionary, NULL_CODE};
+use crate::{Column, Dictionary, FacetTree, NULL_CODE};
 
 /// Index of a tuple within a [`Relation`].
 pub type RowId = u32;
@@ -26,6 +26,11 @@ pub struct Relation {
     /// pairs in ascending value order, enabling binary-searched range
     /// predicates. Categorical attributes have an empty entry.
     sorted_numeric: Vec<Vec<(f64, RowId)>>,
+    /// Facet tree per attribute: for numeric attributes, a bucketed tree
+    /// over the sorted index answering position ranges in ascending
+    /// *row-id* order (the posting-list executor's input contract).
+    /// `None` for categorical attributes.
+    facets: Vec<Option<FacetTree>>,
 }
 
 impl Relation {
@@ -133,6 +138,21 @@ impl Relation {
         let start = index.partition_point(|&(v, _)| v < lo);
         let end = index.partition_point(|&(v, _)| v < hi);
         &index[start..end] // aimq-lint: allow(indexing) -- partition_point bounds: start <= end <= len
+    }
+
+    /// The full value-ascending `(value, row)` index of numeric attribute
+    /// `attr` (NaN/null rows excluded at build time). Empty for
+    /// categorical or out-of-range attributes.
+    pub fn numeric_sorted(&self, attr: AttrId) -> &[(f64, RowId)] {
+        self.sorted_numeric
+            .get(attr.index())
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The facet tree over numeric attribute `attr`'s sorted index, or
+    /// `None` for categorical or out-of-range attributes.
+    pub fn facet_tree(&self, attr: AttrId) -> Option<&FacetTree> {
+        self.facets.get(attr.index()).and_then(Option::as_ref)
     }
 
     /// A uniform random sample of `n` rows *without replacement* (Section
@@ -249,7 +269,7 @@ impl RelationBuilder {
                 Column::Numeric(_) => Vec::new(),
             })
             .collect();
-        let sorted_numeric = self
+        let sorted_numeric: Vec<Vec<(f64, RowId)>> = self
             .columns
             .iter()
             .map(|col| match col {
@@ -266,11 +286,21 @@ impl RelationBuilder {
                 Column::Categorical { .. } => Vec::new(),
             })
             .collect();
+        let facets = self
+            .columns
+            .iter()
+            .zip(&sorted_numeric)
+            .map(|(col, idx)| match col {
+                Column::Numeric(_) => Some(FacetTree::build(idx.as_slice())),
+                Column::Categorical { .. } => None,
+            })
+            .collect();
         Relation {
             schema: self.schema,
             columns: self.columns,
             inverted,
             sorted_numeric,
+            facets,
         }
     }
 }

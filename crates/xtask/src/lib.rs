@@ -89,10 +89,12 @@ pub const PANIC_CRATES: &[&str] = &["catalog", "storage", "afd", "sim", "rock", 
 /// not iterate hash containers or read the wall clock. `core` joined
 /// the list when the probe planner grew a `BTreeMap`-keyed memo;
 /// `serve` joined with the concurrent runtime, whose deadline and
-/// overload behavior replays over `VirtualClock` ticks — the engine's
-/// answers are replayable byte for byte, so any hash container or time
-/// source these crates hold must be audited (and justified).
-pub const DETERMINISM_CRATES: &[&str] = &["afd", "sim", "rock", "core", "serve"];
+/// overload behavior replays over `VirtualClock` ticks; `storage`
+/// joined with the posting-list executor, whose row sets must come back
+/// byte-identical run over run — the engine's answers are replayable
+/// byte for byte, so any hash container or time source these crates
+/// hold must be audited (and justified).
+pub const DETERMINISM_CRATES: &[&str] = &["afd", "sim", "rock", "core", "serve", "storage"];
 
 /// A rendered-ready diagnostic bound to a file.
 #[derive(Debug, Clone)]
