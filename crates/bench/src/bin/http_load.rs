@@ -1,0 +1,266 @@
+//! Runs the **http_load** extension: an open-loop load generator
+//! replaying the CarDB imprecise-query log against a live `aimq-http`
+//! front door over real sockets, at a ladder of configured arrival
+//! rates. Reports per-rate goodput, typed 429 rejections, and a
+//! power-of-two latency histogram; finds the saturation knee (the first
+//! rate where 2xx goodput falls below 90% of offered load); writes the
+//! whole trajectory to `results/BENCH_http.json`.
+//!
+//! The stack is the serve bench's production shape — striped shared
+//! cache over a simulated 3 ms source round-trip over the in-memory
+//! CarDB — behind one HTTP server that lives across the whole ladder,
+//! so later rungs run cache-warm exactly like a long-lived deployment.
+//!
+//! Exit status is nonzero if any rung observed a 5xx response or an
+//! empty latency histogram: the front door must degrade by refusing
+//! (429) or shedding to partials (200), never by erroring.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use aimq_catalog::{ImpreciseQuery, Json, Schema, SelectionQuery, Value};
+use aimq_data::CarDb;
+use aimq_eval::experiments::common::{pick_query_rows, train_cardb};
+use aimq_eval::Scale;
+use aimq_http::load::{run_open_loop, LoadConfig, LoadReport};
+use aimq_http::{AimqHttpServer, HttpConfig};
+use aimq_serve::ServeConfig;
+use aimq_storage::{
+    AccessStats, CachedWebDb, InMemoryWebDb, QueryError, QueryPage, Relation, WebDatabase,
+};
+
+/// Simulated source round trip per cache-missing probe (mirrors the
+/// serve bench's `RTT_MICROS`).
+const RTT_MICROS: u64 = 3_000;
+
+/// Worker threads behind the front door.
+const WORKERS: usize = 4;
+
+/// Admission-queue capacity: offered load beyond `WORKERS + QUEUE` in
+/// flight is refused with a typed 429.
+const QUEUE_CAPACITY: usize = 32;
+
+/// Goodput fraction below which a rung counts as saturated.
+const KNEE_FRACTION: f64 = 0.9;
+
+/// A [`WebDatabase`] decorator charging a fixed wall-clock round trip
+/// per probe (the network hop to an autonomous source). Sits under the
+/// cache: hits stay local, misses travel.
+struct SimulatedRttDb<D> {
+    inner: D,
+    rtt: Duration,
+}
+
+impl<D: WebDatabase> WebDatabase for SimulatedRttDb<D> {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    // aimq-probe: entry -- bench harness wrapper; adds fixed RTT, accounting stays on the inner db's AccessStats
+    fn try_query(&self, query: &SelectionQuery) -> Result<QueryPage, QueryError> {
+        std::thread::sleep(self.rtt);
+        self.inner.try_query(query)
+    }
+
+    fn stats(&self) -> AccessStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats()
+    }
+}
+
+/// The query log as HTTP bodies: each body binds every non-null
+/// attribute of a probe tuple, in schema order — the same bindings
+/// `ImpreciseQuery::from_tuple` would produce in process.
+fn query_bodies(relation: &Relation, rows: &[u32]) -> Vec<String> {
+    let schema = relation.schema();
+    rows.iter()
+        .map(|&row| {
+            let tuple = relation.tuple(row);
+            let pairs = schema
+                .attributes()
+                .iter()
+                .enumerate()
+                .filter_map(|(i, attr)| {
+                    let value = tuple.values().get(i)?;
+                    if matches!(value, Value::Null) {
+                        None
+                    } else {
+                        Some((attr.name().to_string(), value.to_json()))
+                    }
+                })
+                .collect();
+            Json::Obj(vec![("query".to_string(), Json::Obj(pairs))]).to_string_compact()
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    aimq_bench::preamble(
+        "HTTP load: open-loop saturation sweep over the front door",
+        scale,
+    );
+
+    let seed = 42u64;
+    let relation = CarDb::generate(scale.size(10_000), seed);
+    let sample = relation.random_sample(scale.size(5_000), seed.wrapping_add(1));
+    let system = Arc::new(train_cardb(&sample));
+    let n_queries = scale.count(40);
+    let rows = pick_query_rows(&relation, n_queries, seed.wrapping_add(2));
+    let bodies = query_bodies(&relation, &rows);
+    // The bodies must parse back into valid queries; fail fast here
+    // rather than as a wall of 400s.
+    for body in &bodies {
+        let parsed = Json::parse(body).expect("body is JSON");
+        assert!(parsed.get("query").is_some(), "body shape");
+    }
+    for &row in &rows {
+        ImpreciseQuery::from_tuple(&relation.tuple(row)).expect("non-null probe tuple");
+    }
+
+    let stack: Arc<dyn WebDatabase> = Arc::new(CachedWebDb::with_stripes(
+        SimulatedRttDb {
+            inner: InMemoryWebDb::new(relation.clone()),
+            rtt: Duration::from_micros(RTT_MICROS),
+        },
+        4096,
+        8,
+    ));
+    let server = AimqHttpServer::start(
+        Arc::clone(&system),
+        stack,
+        HttpConfig {
+            addr: "127.0.0.1:0".to_string(),
+            index: "cardb".to_string(),
+            serve: ServeConfig {
+                workers: WORKERS,
+                queue_capacity: QUEUE_CAPACITY,
+                deadline_ticks: 0,
+                ticks_per_probe: 1,
+                ..ServeConfig::default()
+            },
+        },
+    )
+    .expect("bind 127.0.0.1:0");
+    let addr = server.addr();
+    println!("front door listening on {addr} ({WORKERS} workers, queue {QUEUE_CAPACITY})");
+
+    // Warmup: replay the log once, serially, so the shared cache
+    // absorbs every distinct query's probe set before measurement
+    // begins. Without this the first rung pays the 3 ms-per-probe cold
+    // cost and reports a false saturation knee that the very next
+    // (faster) rung contradicts; the ladder is meant to measure the
+    // steady state of a long-lived deployment.
+    for body in &bodies {
+        let reply = aimq_http::client::request(addr, "POST", "/indexes/cardb/search", Some(body))
+            .expect("warmup reply");
+        assert_eq!(reply.status, 200, "warmup must be admitted: {}", reply.body);
+    }
+    println!(
+        "cache warmed: {} distinct queries replayed once",
+        bodies.len()
+    );
+
+    // The arrival-rate ladder. Quick scale keeps the whole sweep inside
+    // a CI smoke budget; full scale sweeps past the pool's capacity.
+    let (rates, duration_secs): (&[f64], f64) = if scale.divisor() == 1 {
+        (&[100.0, 400.0, 800.0, 1600.0, 3200.0], 2.0)
+    } else {
+        (&[40.0, 160.0, 640.0], 0.6)
+    };
+
+    let mut reports: Vec<LoadReport> = Vec::new();
+    for &rate in rates {
+        let config = LoadConfig {
+            rate_per_sec: rate,
+            requests: ((rate * duration_secs).ceil() as usize).max(8),
+        };
+        let report = run_open_loop(addr, "/indexes/cardb/search", &bodies, &config);
+        println!(
+            "rate {:>7.0}/s: 2xx {:>5} ({:>7.1}/s) 429 {:>5} 4xx {:>3} 5xx {:>3} io-err {:>3}  p50 {:>7}us p99 {:>8}us max {:>8}us{}",
+            report.offered_rate,
+            report.completed_2xx,
+            report.achieved_2xx_rate,
+            report.rejected_429,
+            report.other_4xx,
+            report.responses_5xx,
+            report.transport_errors,
+            report.p50_us,
+            report.p99_us,
+            report.max_us,
+            if report.saturated(KNEE_FRACTION) { "  [saturated]" } else { "" },
+        );
+        reports.push(report);
+    }
+
+    let knee = reports
+        .iter()
+        .find(|r| r.saturated(KNEE_FRACTION))
+        .map(|r| r.offered_rate);
+    match knee {
+        Some(rate) => println!("saturation knee: first saturated rung at {rate:.0}/s offered"),
+        None => println!("saturation knee: not reached on this ladder"),
+    }
+
+    let final_stats = server.shutdown();
+
+    let any_5xx = reports.iter().any(|r| r.responses_5xx > 0);
+    let histogram_empty = reports
+        .iter()
+        .any(|r| r.latency_hist_us.iter().sum::<u64>() == 0);
+
+    let artifact = Json::obj(vec![
+        ("benchmark", Json::Str("http_load".to_string())),
+        (
+            "description",
+            Json::Str(format!(
+                "Open-loop load sweep over the aimq-http front door: the CarDB \
+                 imprecise-query log ({n_queries} queries, seed {seed}) replayed \
+                 over real sockets at configured arrival rates against {WORKERS} \
+                 workers (queue {QUEUE_CAPACITY}) on a striped shared cache over \
+                 a simulated {RTT_MICROS}us source round trip. Latency is \
+                 measured from each request's scheduled send time (coordinated \
+                 omission counted). saturated = 2xx goodput below {KNEE_FRACTION} \
+                 of offered rate. Regenerate with: cargo run -p aimq-bench \
+                 --release --bin http_load"
+            )),
+        ),
+        ("scale", Json::Str(scale.to_string())),
+        ("seed", Json::Num(seed as f64)),
+        ("n_queries", Json::Num(n_queries as f64)),
+        ("rtt_micros", Json::Num(RTT_MICROS as f64)),
+        ("workers", Json::Num(WORKERS as f64)),
+        ("queue_capacity", Json::Num(QUEUE_CAPACITY as f64)),
+        ("duration_secs_per_rate", Json::Num(duration_secs)),
+        ("knee_fraction", Json::Num(KNEE_FRACTION)),
+        (
+            "rates",
+            Json::Arr(reports.iter().map(LoadReport::to_json).collect()),
+        ),
+        (
+            "saturation_knee_rate",
+            knee.map(Json::Num).unwrap_or(Json::Null),
+        ),
+        ("final_serve_stats", final_stats.to_json()),
+    ]);
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_http.json", artifact.to_string_compact())
+        .expect("write results/BENCH_http.json");
+    println!("wrote results/BENCH_http.json");
+
+    if any_5xx {
+        eprintln!("FAIL: the front door returned 5xx under load");
+        std::process::exit(1);
+    }
+    if histogram_empty {
+        eprintln!("FAIL: a rung produced an empty latency histogram");
+        std::process::exit(1);
+    }
+    println!(
+        "ok: zero 5xx across {} rungs; every histogram non-empty",
+        reports.len()
+    );
+}

@@ -27,6 +27,7 @@
 
 mod bucket;
 mod error;
+mod json;
 mod query;
 mod schema;
 mod score;
@@ -35,6 +36,7 @@ mod value;
 
 pub use bucket::BucketSpec;
 pub use error::CatalogError;
+pub use json::{Json, JsonError};
 pub use query::{ImpreciseQuery, Predicate, PredicateOp, SelectionQuery};
 pub use schema::{AttrId, Attribute, Domain, Schema, SchemaBuilder};
 pub use score::OrderedScore;

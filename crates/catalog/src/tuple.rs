@@ -78,6 +78,19 @@ impl Tuple {
             .collect()
     }
 
+    /// The tuple as a [`crate::Json`] object keyed by attribute name, in
+    /// schema order with nulls included — the deterministic wire form
+    /// used by the HTTP search route.
+    pub fn to_json(&self, schema: &Schema) -> crate::Json {
+        crate::Json::Obj(
+            self.values
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (schema.attr_name(AttrId(i)).to_string(), v.to_json()))
+                .collect(),
+        )
+    }
+
     /// Render with attribute names, e.g.
     /// `{Make=Ford, Model=Focus, Price=15000}` — nulls omitted.
     pub fn display_with<'a>(&'a self, schema: &'a Schema) -> TupleDisplay<'a> {

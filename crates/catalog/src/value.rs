@@ -53,6 +53,16 @@ impl Value {
         }
     }
 
+    /// The value as a [`crate::Json`] scalar: `Null` → `null`, `Cat` →
+    /// string, `Num` → number. The wire protocol's tuple rendering.
+    pub fn to_json(&self) -> crate::Json {
+        match self {
+            Value::Null => crate::Json::Null,
+            Value::Cat(s) => crate::Json::Str(s.clone()),
+            Value::Num(n) => crate::Json::Num(*n),
+        }
+    }
+
     /// The numeric payload, if this is a `Num` value.
     pub fn as_num(&self) -> Option<f64> {
         match self {

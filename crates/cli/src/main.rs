@@ -52,6 +52,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "mine" => mine(&args),
         "query" => query(&args),
         "serve-bench" => serve_bench(&args),
+        "serve-http" => serve_http(&args),
         "help" | "--help" | "-h" => {
             print_help();
             Ok(())
@@ -75,7 +76,10 @@ fn print_help() {
          \x20            [--cache-capacity N] [--no-cache true]\n\
          \x20            [--sources N] [--fault-profile-per-source p0,p1,...]\n\
          \x20            [--replication R] [--hedge-delay T]\n\
-         \x20 aimq serve-bench [--scale full|quick|N] [--seed S]\n\n\
+         \x20 aimq serve-bench [--scale full|quick|N] [--seed S]\n\
+         \x20 aimq serve-http [--addr A] [--size N] [--seed S] [--workers W]\n\
+         \x20            [--queue Q] [--deadline-ticks T] [--tsim X] [--k N]\n\
+         \x20            [--once true]\n\n\
          SPEC:  Name:cat,Name:num,...  (column order; CSV header must match)\n\
          QUERY: the paper's notation, e.g. \"Model like Camry, Price like 10000\"\n\
          FAULTS: inject a deterministic fault schedule into the source and\n\
@@ -95,7 +99,12 @@ fn print_help() {
          \x20      serving runtime at 1/2/4/8 workers over a shared striped\n\
          \x20      cache and a simulated source round-trip; reports\n\
          \x20      throughput, speedup and per-query identity against the\n\
-         \x20      single-threaded engine",
+         \x20      single-threaded engine\n\
+         SERVE-HTTP: train on a synthetic CarDB and expose it over HTTP\n\
+         \x20      (default 127.0.0.1:7700): POST /indexes/cardb/search,\n\
+         \x20      GET /health, GET /stats, GET|PATCH /config. Serves until\n\
+         \x20      stdin closes (ctrl-D drains gracefully); `--once true`\n\
+         \x20      self-checks /health and one search, then shuts down",
         DEFAULT_CACHE_CAPACITY
     );
 }
@@ -124,6 +133,96 @@ fn serve_bench(args: &Args) -> Result<(), String> {
     }
     println!("speedup at 8 workers: {:.2}x", result.speedup(8));
     println!("{}", result.counters_line());
+    Ok(())
+}
+
+/// Train on a synthetic CarDB and serve it over HTTP until stdin
+/// closes (or immediately after a self-check with `--once true`).
+fn serve_http(args: &Args) -> Result<(), String> {
+    use aimq_http::{client, AimqHttpServer, HttpConfig};
+    use aimq_serve::ServeConfig;
+    use std::sync::Arc;
+
+    let addr = args
+        .required("addr")
+        .unwrap_or_else(|_| "127.0.0.1:7700".to_owned());
+    let size = args.usize_or("size", 20_000)?;
+    let seed = args.u64_or("seed", 42)?;
+    let workers = args.usize_or("workers", 4)?;
+    let queue = args.usize_or("queue", 64)?;
+    let deadline_ticks = args.u64_or("deadline-ticks", 0)?;
+    let once = args.bool_or("once", false)?;
+    let engine = EngineConfig {
+        t_sim: args.f64_or("tsim", 0.5)?,
+        top_k: args.usize_or("k", 10)?,
+        ..EngineConfig::default()
+    };
+
+    println!("generating CarDB with {size} tuples (seed {seed}) and training...");
+    let db = InMemoryWebDb::new(CarDb::generate(size, seed));
+    let sample = db.relation().random_sample(size / 4, 1);
+    let system = AimqSystem::train(&sample, &train_config(args)?).map_err(|e| e.to_string())?;
+    let stack: Arc<dyn WebDatabase> =
+        Arc::new(CachedWebDb::with_stripes(db, DEFAULT_CACHE_CAPACITY, 8));
+
+    let server = AimqHttpServer::start(
+        Arc::new(system),
+        stack,
+        HttpConfig {
+            addr: addr.clone(),
+            index: "cardb".to_owned(),
+            serve: ServeConfig {
+                workers,
+                queue_capacity: queue,
+                deadline_ticks,
+                ticks_per_probe: 1,
+                engine,
+            },
+        },
+    )
+    .map_err(|e| format!("cannot serve on {addr}: {e}"))?;
+    let bound = server.addr();
+    println!(
+        "serving index `cardb` on http://{bound} ({workers} workers, queue {queue})\n\
+         try:  curl -s http://{bound}/health\n\
+         \x20     curl -s -X POST http://{bound}/indexes/cardb/search \\\n\
+         \x20       -d '{{\"query\":{{\"Model\":\"Camry\",\"Price\":10000}}}}'"
+    );
+
+    if once {
+        let health = client::request(bound, "GET", "/health", None)
+            .map_err(|e| format!("self-check /health failed: {e}"))?;
+        let search = client::request(
+            bound,
+            "POST",
+            "/indexes/cardb/search",
+            Some(r#"{"query":{"Model":"Camry"}}"#),
+        )
+        .map_err(|e| format!("self-check search failed: {e}"))?;
+        if health.status != 200 || search.status != 200 {
+            return Err(format!(
+                "self-check failed: /health {} search {}",
+                health.status, search.status
+            ));
+        }
+        println!("self-check ok: /health 200, search 200");
+    } else {
+        println!("serving until stdin closes (ctrl-D to drain and exit)");
+        let mut sink = Vec::new();
+        use std::io::Read;
+        // aimq-lint: allow(result-discipline) -- a stdin read error means the terminal is gone; either way the answer is "drain and exit"
+        let _ = std::io::stdin().lock().read_to_end(&mut sink);
+    }
+
+    let stats = server.shutdown();
+    println!(
+        "drained: {} admitted, {} completed, {} deadline-missed, {} rejected, {} replies dropped",
+        stats.admitted,
+        stats.completed,
+        stats.deadline_missed,
+        stats.rejected,
+        stats.replies_dropped
+    );
     Ok(())
 }
 
@@ -496,6 +595,41 @@ mod tests {
             run(&argv(&["serve-bench", "--scale", "2000", "--seed", "5"])),
             Ok(())
         );
+    }
+
+    #[test]
+    fn serve_http_once_self_checks_and_drains() {
+        // Port 0 avoids collisions; --once exercises bind → serve →
+        // self-check (health + one search) → graceful drain.
+        assert_eq!(
+            run(&argv(&[
+                "serve-http",
+                "--addr",
+                "127.0.0.1:0",
+                "--size",
+                "400",
+                "--seed",
+                "7",
+                "--once",
+                "true",
+            ])),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn serve_http_rejects_an_unbindable_address() {
+        let err = run(&argv(&[
+            "serve-http",
+            "--addr",
+            "256.0.0.1:99999",
+            "--size",
+            "400",
+            "--once",
+            "true",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("cannot serve"), "{err}");
     }
 
     #[test]

@@ -3,9 +3,10 @@ use std::collections::BTreeMap;
 use std::collections::HashSet;
 use std::fmt;
 
-use aimq_catalog::{AttrId, ImpreciseQuery, SelectionQuery, Tuple};
+use aimq_catalog::{AttrId, ImpreciseQuery, Json, Schema, SelectionQuery, Tuple};
 use aimq_sim::SimilarityModel;
 use aimq_storage::{QueryError, QueryPage, SourceHealth, WebDatabase};
+use serde::{Deserialize, Serialize};
 
 use crate::base_query::derive_base_set_memoized;
 use crate::bind::tuple_query_for;
@@ -15,7 +16,7 @@ use crate::RelaxationStrategy;
 /// Tuning knobs of Algorithm 1. The paper leaves `Tsim` and `k` "tuned by
 /// the system designers" (footnote 4); defaults follow the evaluation
 /// section (Tsim sweeps 0.5–0.9, top-10 answers shown to users).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// Similarity threshold `Tsim`: a relaxation result joins the extended
     /// set only if its similarity to its base tuple exceeds this.
@@ -77,6 +78,88 @@ impl Default for EngineConfig {
     }
 }
 
+impl EngineConfig {
+    /// Every knob as a deterministic [`Json`] object — the body served
+    /// by `GET /config` (field order is declaration order).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("t_sim", Json::Num(self.t_sim)),
+            ("top_k", Json::Num(self.top_k as f64)),
+            ("max_relax_level", Json::Num(self.max_relax_level as f64)),
+            ("max_base_tuples", Json::Num(self.max_base_tuples as f64)),
+            (
+                "target_relevant",
+                match self.target_relevant {
+                    Some(n) => Json::Num(n as f64),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "max_steps_per_tuple",
+                Json::Num(self.max_steps_per_tuple as f64),
+            ),
+            ("dedup_probes", Json::Bool(self.dedup_probes)),
+            ("batch_plans", Json::Bool(self.batch_plans)),
+        ])
+    }
+
+    /// Returns a copy with the knobs named in `patch` (a JSON object,
+    /// e.g. `{"top_k": 5, "t_sim": 0.7}`) overridden — the semantics of
+    /// `PATCH /config`. Unknown keys, wrong types, and out-of-range
+    /// values are rejected wholesale: either every change applies or
+    /// none does.
+    pub fn with_json_patch(&self, patch: &Json) -> Result<EngineConfig, String> {
+        let pairs = patch
+            .as_object()
+            .ok_or_else(|| "config patch must be a JSON object".to_string())?;
+        let mut next = *self;
+        for (key, value) in pairs {
+            match key.as_str() {
+                "t_sim" => {
+                    let t = value
+                        .as_f64()
+                        .filter(|t| t.is_finite() && (0.0..=1.0).contains(t))
+                        .ok_or_else(|| "`t_sim` must be a number in [0, 1]".to_string())?;
+                    next.t_sim = t;
+                }
+                "top_k" => next.top_k = patch_usize(value, "top_k")?,
+                "max_relax_level" => next.max_relax_level = patch_usize(value, "max_relax_level")?,
+                "max_base_tuples" => next.max_base_tuples = patch_usize(value, "max_base_tuples")?,
+                "target_relevant" => {
+                    next.target_relevant = match value {
+                        Json::Null => None,
+                        v => Some(patch_usize(v, "target_relevant")?),
+                    };
+                }
+                "max_steps_per_tuple" => {
+                    next.max_steps_per_tuple = patch_usize(value, "max_steps_per_tuple")?;
+                }
+                "dedup_probes" => {
+                    next.dedup_probes = value
+                        .as_bool()
+                        .ok_or_else(|| "`dedup_probes` must be a boolean".to_string())?;
+                }
+                "batch_plans" => {
+                    next.batch_plans = value
+                        .as_bool()
+                        .ok_or_else(|| "`batch_plans` must be a boolean".to_string())?;
+                }
+                other => return Err(format!("unknown config knob `{other}`")),
+            }
+        }
+        Ok(next)
+    }
+}
+
+/// Shared `PATCH /config` helper: a non-negative integer knob.
+fn patch_usize(value: &Json, key: &str) -> Result<usize, String> {
+    value
+        .as_u64()
+        .and_then(|n| usize::try_from(n).ok())
+        .ok_or_else(|| format!("`{key}` must be a non-negative integer"))
+}
+
 /// The paper's efficiency bookkeeping (Section 6.3):
 /// `Work/RelevantTuple = |T_Extracted| / |T_Relevant|` — "a measure of
 /// the average number of tuples that an user would have to look at before
@@ -101,6 +184,18 @@ impl WorkStats {
     /// `Work/RelevantTuple`; `None` when nothing relevant was found.
     pub fn work_per_relevant(&self) -> Option<f64> {
         (self.relevant_found > 0).then(|| self.tuples_examined as f64 / self.relevant_found as f64)
+    }
+
+    /// The access meter as a deterministic [`Json`] object (field order
+    /// is declaration order).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("queries_issued", Json::Num(self.queries_issued as f64)),
+            ("tuples_extracted", Json::Num(self.tuples_extracted as f64)),
+            ("tuples_examined", Json::Num(self.tuples_examined as f64)),
+            ("relevant_found", Json::Num(self.relevant_found as f64)),
+        ])
     }
 }
 
@@ -209,6 +304,30 @@ impl DegradationReport {
     pub(crate) fn note_truncated(&mut self) {
         self.truncated_pages += 1;
     }
+
+    /// The report as a deterministic [`Json`] object (field order is
+    /// declaration order; `sources` embeds each member's
+    /// [`SourceHealth::to_json`], `completeness` its `Display` form) —
+    /// shared by the HTTP search/stats routes and `serve-bench`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("probes_attempted", Json::Num(self.probes_attempted as f64)),
+            ("probes_deduped", Json::Num(self.probes_deduped as f64)),
+            ("probes_failed", Json::Num(self.probes_failed as f64)),
+            ("probes_skipped", Json::Num(self.probes_skipped as f64)),
+            ("levels_abandoned", Json::Num(self.levels_abandoned as f64)),
+            ("truncated_pages", Json::Num(self.truncated_pages as f64)),
+            ("retries", Json::Num(self.retries as f64)),
+            ("breaker_trips", Json::Num(self.breaker_trips as f64)),
+            ("source_lost", Json::Bool(self.source_lost)),
+            (
+                "sources",
+                Json::Arr(self.sources.iter().map(SourceHealth::to_json).collect()),
+            ),
+            ("completeness", Json::Str(self.completeness.to_string())),
+        ])
+    }
 }
 
 impl fmt::Display for DegradationReport {
@@ -255,6 +374,36 @@ pub enum Provenance {
     },
 }
 
+impl Provenance {
+    /// The provenance as a tagged [`Json`] object: `{"kind":"base_set"}`,
+    /// `{"kind":"external"}`, or `{"kind":"relaxed","base_index":i,
+    /// "relaxed_attrs":[names...]}` with attribute names resolved
+    /// against `schema`.
+    #[must_use]
+    pub fn to_json(&self, schema: &Schema) -> Json {
+        match self {
+            Provenance::BaseSet => Json::obj(vec![("kind", Json::Str("base_set".into()))]),
+            Provenance::External => Json::obj(vec![("kind", Json::Str("external".into()))]),
+            Provenance::Relaxed {
+                base_index,
+                relaxed_attrs,
+            } => Json::obj(vec![
+                ("kind", Json::Str("relaxed".into())),
+                ("base_index", Json::Num(*base_index as f64)),
+                (
+                    "relaxed_attrs",
+                    Json::Arr(
+                        relaxed_attrs
+                            .iter()
+                            .map(|&a| Json::Str(schema.attr_name(a).to_string()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        }
+    }
+}
+
 /// One ranked answer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RankedAnswer {
@@ -264,6 +413,20 @@ pub struct RankedAnswer {
     pub similarity: f64,
     /// How the engine found this tuple.
     pub provenance: Provenance,
+}
+
+impl RankedAnswer {
+    /// The answer as a deterministic [`Json`] object: the tuple keyed by
+    /// attribute name, the shortest-roundtrip similarity, and the
+    /// provenance tag.
+    #[must_use]
+    pub fn to_json(&self, schema: &Schema) -> Json {
+        Json::obj(vec![
+            ("tuple", self.tuple.to_json(schema)),
+            ("similarity", Json::Num(self.similarity)),
+            ("provenance", self.provenance.to_json(schema)),
+        ])
+    }
 }
 
 /// The result of answering one imprecise query.
@@ -280,6 +443,31 @@ pub struct AnswerSet {
     pub base_set_size: usize,
     /// What failed, what was skipped, and how complete the answer is.
     pub degradation: DegradationReport,
+}
+
+impl AnswerSet {
+    /// The whole result as one deterministic [`Json`] object — the body
+    /// of a `POST /indexes/:name/search` response. Byte-for-byte
+    /// reproducible: answers keep their ranked order, objects their
+    /// declaration order, and every number renders through the canonical
+    /// path, so the HTTP wire form of a result equals the in-process
+    /// serialization of the same [`AnswerSet`].
+    #[must_use]
+    pub fn to_json(&self, schema: &Schema) -> Json {
+        Json::obj(vec![
+            (
+                "answers",
+                Json::Arr(self.answers.iter().map(|a| a.to_json(schema)).collect()),
+            ),
+            ("stats", self.stats.to_json()),
+            (
+                "base_query",
+                Json::Str(self.base_query.display_with(schema).to_string()),
+            ),
+            ("base_set_size", Json::Num(self.base_set_size as f64)),
+            ("degradation", self.degradation.to_json()),
+        ])
+    }
 }
 
 /// Distinct *strategy-assigned* relaxation levels among the plan steps.

@@ -36,7 +36,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use aimq::{AnswerSet, EngineConfig};
-use aimq_catalog::{ImpreciseQuery, Schema, SelectionQuery};
+use aimq_catalog::{ImpreciseQuery, Json, Schema, SelectionQuery};
 use aimq_data::CarDb;
 use aimq_serve::{QueryServer, ServeConfig, ServeStatsSnapshot, Ticket};
 use aimq_storage::{AccessStats, CachedWebDb, InMemoryWebDb, QueryError, QueryPage, WebDatabase};
@@ -133,17 +133,57 @@ impl ServeBenchResult {
         self.rungs.iter().all(|r| r.identical)
     }
 
-    /// One-line counter digest across all rungs: dropped replies,
-    /// breaker trips and cache traffic. Printed by `aimq serve-bench`
-    /// so degraded runs surface in the terminal, not just the JSON.
+    /// The ladder's counters as shared JSON: one entry per rung, each
+    /// serialized with the *same* `ServeStatsSnapshot::to_json()` /
+    /// `AccessStats::to_json()` path the HTTP front door's `GET /stats`
+    /// uses — the bench artifact and the wire agree on names and shapes
+    /// by construction.
+    pub fn counters_json(&self) -> Json {
+        Json::obj(vec![(
+            "rungs",
+            Json::Arr(
+                self.rungs
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("workers", Json::Num(r.workers as f64)),
+                            ("serve", r.stats.to_json()),
+                            ("source", r.source.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+
+    /// One-line counter digest across all rungs — dropped replies,
+    /// breaker trips and cache traffic — derived from
+    /// [`Self::counters_json`] rather than re-summed by hand, so the
+    /// terminal line can never disagree with the serialized counters.
+    /// Printed by `aimq serve-bench`.
     pub fn counters_line(&self) -> String {
-        let dropped: u64 = self.rungs.iter().map(|r| r.stats.replies_dropped).sum();
-        let trips: u64 = self.rungs.iter().map(|r| r.source.breaker_trips).sum();
-        let hits: u64 = self.rungs.iter().map(|r| r.source.cache_hits).sum();
-        let misses: u64 = self.rungs.iter().map(|r| r.source.cache_misses).sum();
+        let json = self.counters_json();
+        let sum = |section: &str, field: &str| -> u64 {
+            json.get("rungs")
+                .and_then(Json::as_array)
+                .map(|rungs| {
+                    rungs
+                        .iter()
+                        .filter_map(|r| {
+                            r.get(section)
+                                .and_then(|s| s.get(field))
+                                .and_then(Json::as_u64)
+                        })
+                        .sum()
+                })
+                .unwrap_or(0)
+        };
         format!(
-            "counters: {dropped} replies dropped, {trips} breaker trips, \
-             cache {hits} hits / {misses} misses"
+            "counters: {} replies dropped, {} breaker trips, cache {} hits / {} misses",
+            sum("serve", "replies_dropped"),
+            sum("source", "breaker_trips"),
+            sum("source", "cache_hits"),
+            sum("source", "cache_misses"),
         )
     }
 
@@ -351,6 +391,36 @@ mod tests {
         // can never claim an idle source.
         let misses: u64 = r.rungs.iter().map(|x| x.source.cache_misses).sum();
         assert!(misses > 0);
+    }
+
+    #[test]
+    fn counters_json_uses_the_shared_stats_serializers() {
+        let r = result();
+        let json = r.counters_json();
+        let rungs = json.get("rungs").and_then(Json::as_array).expect("rungs");
+        assert_eq!(rungs.len(), r.rungs.len());
+        for (entry, rung) in rungs.iter().zip(&r.rungs) {
+            // Field names must match what the HTTP `/stats` route
+            // serves, because both go through the same to_json() path.
+            let serve = entry.get("serve").expect("serve section");
+            assert_eq!(
+                serve.get("replies_dropped").and_then(Json::as_u64),
+                Some(rung.stats.replies_dropped)
+            );
+            assert_eq!(
+                serve.get("completed").and_then(Json::as_u64),
+                Some(rung.stats.completed)
+            );
+            let source = entry.get("source").expect("source section");
+            assert_eq!(
+                source.get("cache_misses").and_then(Json::as_u64),
+                Some(rung.source.cache_misses)
+            );
+        }
+        // The digest line is a projection of the same JSON.
+        let line = r.counters_line();
+        let misses: u64 = r.rungs.iter().map(|x| x.source.cache_misses).sum();
+        assert!(line.contains(&format!("{misses} misses")), "{line}");
     }
 
     #[test]

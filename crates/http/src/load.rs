@@ -1,0 +1,250 @@
+//! Open-loop load generation over real sockets.
+//!
+//! *Open loop* means arrivals are scheduled by the clock, not by
+//! responses: request `i` is sent at `t0 + i/rate` whether or not
+//! request `i-1` has come back. A closed-loop generator (send, wait,
+//! send) self-throttles exactly when the server saturates and therefore
+//! cannot see the saturation it is supposed to measure; the open-loop
+//! shape keeps offering load, so queueing delay and typed 429
+//! rejections become visible in the numbers.
+//!
+//! Latency is measured from the request's **scheduled** send time, not
+//! the moment the socket write happened — the standard guard against
+//! coordinated omission (a generator that falls behind schedule would
+//! otherwise under-report exactly the latencies that matter).
+//!
+//! This module reads the wall clock and sleeps, which is why the `http`
+//! crate sits outside the workspace's determinism (L3/L4) lint scope —
+//! measured load is the one place virtual time cannot stand in for the
+//! real thing.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use aimq_catalog::Json;
+
+use crate::client;
+
+/// Number of power-of-two latency buckets (microseconds): bucket `i>0`
+/// counts replies with latency in `[2^(i-1), 2^i)` µs; bucket 0 holds
+/// sub-microsecond replies; the last bucket absorbs the tail.
+pub const LATENCY_BUCKETS_US: usize = 32;
+
+/// One load step's knobs.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Offered arrival rate, requests per second.
+    pub rate_per_sec: f64,
+    /// Total requests to offer at that rate.
+    pub requests: usize,
+}
+
+/// What one open-loop run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// The configured arrival rate.
+    pub offered_rate: f64,
+    /// Requests offered.
+    pub requests: usize,
+    /// Replies with a 2xx status.
+    pub completed_2xx: u64,
+    /// Typed backpressure refusals (HTTP 429).
+    pub rejected_429: u64,
+    /// Other 4xx replies (should be zero on a well-formed replay).
+    pub other_4xx: u64,
+    /// 5xx replies (should always be zero).
+    pub responses_5xx: u64,
+    /// Requests that died below HTTP (connect/read/write failures).
+    pub transport_errors: u64,
+    /// Wall time from first scheduled send to last reply.
+    pub elapsed_secs: f64,
+    /// Achieved 2xx goodput, replies per second.
+    pub achieved_2xx_rate: f64,
+    /// Power-of-two latency histogram (µs), all replies.
+    pub latency_hist_us: Vec<u64>,
+    /// Latency percentiles over all replies, µs.
+    pub p50_us: u64,
+    /// 90th percentile, µs.
+    pub p90_us: u64,
+    /// 99th percentile, µs.
+    pub p99_us: u64,
+    /// Maximum observed latency, µs.
+    pub max_us: u64,
+}
+
+impl LoadReport {
+    /// Saturation test: the run is saturated when 2xx goodput fell
+    /// below `fraction` of the offered rate — the server (or its
+    /// admission queue) could no longer keep up with arrivals.
+    #[must_use]
+    pub fn saturated(&self, fraction: f64) -> bool {
+        self.achieved_2xx_rate < self.offered_rate * fraction
+    }
+
+    /// The report as a deterministic [`Json`] object (field order is
+    /// declaration order) — one entry of `results/BENCH_http.json`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("offered_rate", Json::Num(self.offered_rate)),
+            ("requests", Json::Num(self.requests as f64)),
+            ("completed_2xx", Json::Num(self.completed_2xx as f64)),
+            ("rejected_429", Json::Num(self.rejected_429 as f64)),
+            ("other_4xx", Json::Num(self.other_4xx as f64)),
+            ("responses_5xx", Json::Num(self.responses_5xx as f64)),
+            ("transport_errors", Json::Num(self.transport_errors as f64)),
+            ("elapsed_secs", Json::Num(self.elapsed_secs)),
+            ("achieved_2xx_rate", Json::Num(self.achieved_2xx_rate)),
+            (
+                "latency_hist_us",
+                Json::Arr(
+                    self.latency_hist_us
+                        .iter()
+                        .map(|&n| Json::Num(n as f64))
+                        .collect(),
+                ),
+            ),
+            ("p50_us", Json::Num(self.p50_us as f64)),
+            ("p90_us", Json::Num(self.p90_us as f64)),
+            ("p99_us", Json::Num(self.p99_us as f64)),
+            ("max_us", Json::Num(self.max_us as f64)),
+        ])
+    }
+}
+
+/// Histogram bucket for a latency in µs: 0 → 0, otherwise
+/// `floor(log2(us)) + 1`, saturating at the last bucket.
+fn bucket_for_us(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        let raw = 64 - us.leading_zeros() as usize;
+        raw.min(LATENCY_BUCKETS_US - 1)
+    }
+}
+
+/// Offer `config.requests` POSTs to `path` on `addr` at
+/// `config.rate_per_sec`, cycling through `bodies`, and aggregate the
+/// replies. Blocks until every in-flight request resolves.
+pub fn run_open_loop(
+    addr: SocketAddr,
+    path: &str,
+    bodies: &[String],
+    config: &LoadConfig,
+) -> LoadReport {
+    let rate = config.rate_per_sec.max(0.001);
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(config.requests);
+    for i in 0..config.requests {
+        let due = Duration::from_secs_f64(i as f64 / rate);
+        if let Some(wait) = due.checked_sub(start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        let body = bodies
+            .get(i.checked_rem(bodies.len().max(1)).unwrap_or(0))
+            .cloned()
+            .unwrap_or_default();
+        let path = path.to_string();
+        handles.push(std::thread::spawn(move || {
+            let reply = client::request(addr, "POST", &path, Some(&body));
+            // Latency from the *scheduled* send time: scheduler lag and
+            // connect time are part of what the client experienced.
+            let latency = start.elapsed().saturating_sub(due);
+            let status = match reply {
+                Ok(r) => r.status,
+                Err(_) => 0, // transport failure; no HTTP status exists
+            };
+            (status, latency.as_micros() as u64)
+        }));
+    }
+
+    let mut completed_2xx = 0u64;
+    let mut rejected_429 = 0u64;
+    let mut other_4xx = 0u64;
+    let mut responses_5xx = 0u64;
+    let mut transport_errors = 0u64;
+    let mut hist = vec![0u64; LATENCY_BUCKETS_US];
+    let mut latencies = Vec::with_capacity(config.requests);
+    for handle in handles {
+        // A panicked sender is indistinguishable from a transport
+        // failure from the report's point of view.
+        let (status, latency_us) = handle.join().unwrap_or((0, 0));
+        match status {
+            0 => transport_errors = transport_errors.saturating_add(1),
+            200..=299 => completed_2xx = completed_2xx.saturating_add(1),
+            429 => rejected_429 = rejected_429.saturating_add(1),
+            400..=499 => other_4xx = other_4xx.saturating_add(1),
+            _ => responses_5xx = responses_5xx.saturating_add(1),
+        }
+        if status != 0 {
+            if let Some(slot) = hist.get_mut(bucket_for_us(latency_us)) {
+                *slot = slot.saturating_add(1);
+            }
+            latencies.push(latency_us);
+        }
+    }
+    let elapsed_secs = start.elapsed().as_secs_f64().max(1e-9);
+    latencies.sort_unstable();
+    let percentile = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let rank = ((latencies.len() as f64) * p).ceil() as usize;
+        latencies
+            .get(rank.saturating_sub(1).min(latencies.len() - 1))
+            .copied()
+            .unwrap_or(0)
+    };
+    LoadReport {
+        offered_rate: rate,
+        requests: config.requests,
+        completed_2xx,
+        rejected_429,
+        other_4xx,
+        responses_5xx,
+        transport_errors,
+        elapsed_secs,
+        achieved_2xx_rate: completed_2xx as f64 / elapsed_secs,
+        latency_hist_us: hist,
+        p50_us: percentile(0.50),
+        p90_us: percentile(0.90),
+        p99_us: percentile(0.99),
+        max_us: latencies.last().copied().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_power_of_two_ranges() {
+        assert_eq!(bucket_for_us(0), 0);
+        assert_eq!(bucket_for_us(1), 1);
+        assert_eq!(bucket_for_us(1000), 10);
+        assert_eq!(bucket_for_us(u64::MAX), LATENCY_BUCKETS_US - 1);
+    }
+
+    #[test]
+    fn saturation_compares_goodput_to_offered_rate() {
+        let mut report = LoadReport {
+            offered_rate: 100.0,
+            requests: 100,
+            completed_2xx: 95,
+            rejected_429: 5,
+            other_4xx: 0,
+            responses_5xx: 0,
+            transport_errors: 0,
+            elapsed_secs: 1.0,
+            achieved_2xx_rate: 95.0,
+            latency_hist_us: vec![0; LATENCY_BUCKETS_US],
+            p50_us: 0,
+            p90_us: 0,
+            p99_us: 0,
+            max_us: 0,
+        };
+        assert!(!report.saturated(0.9));
+        report.achieved_2xx_rate = 50.0;
+        assert!(report.saturated(0.9));
+    }
+}

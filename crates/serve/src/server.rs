@@ -17,7 +17,7 @@
 //! answers, base query, and degradation probe counts, not meter deltas.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
 use aimq::{AimqSystem, AnswerSet, EngineConfig};
@@ -26,7 +26,7 @@ use aimq_storage::WebDatabase;
 
 use crate::queue::{AdmissionQueue, PushError};
 use crate::stats::{ServeStats, ServeStatsSnapshot};
-use crate::{DeadlineWebDb, ServeError};
+use crate::{lock, DeadlineWebDb, ServeError};
 
 /// Serving knobs.
 #[derive(Debug, Clone)]
@@ -98,6 +98,9 @@ pub struct QueryServer {
     // aimq-atomic: counter -- backlog occupancy; over-admission is corrected
     // by the fetch_add/fetch_sub pairing, so no ordering is needed
     in_queue_or_flight: Arc<AtomicU64>,
+    // aimq-lock: family(engine-config) -- leaf lock; holders copy the
+    // Copy config in or out and never block while holding the guard
+    engine_config: Arc<Mutex<EngineConfig>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -115,6 +118,7 @@ impl QueryServer {
         let queue = Arc::new(AdmissionQueue::new(config.queue_capacity.max(1)));
         let stats = Arc::new(ServeStats::new(workers));
         let in_queue_or_flight = Arc::new(AtomicU64::new(0));
+        let engine_config = Arc::new(Mutex::new(config.engine));
         let handles = (0..workers)
             .map(|worker_id| {
                 let system = Arc::clone(&system);
@@ -122,10 +126,16 @@ impl QueryServer {
                 let queue = Arc::clone(&queue);
                 let stats = Arc::clone(&stats);
                 let in_flight = Arc::clone(&in_queue_or_flight);
+                let engine_config = Arc::clone(&engine_config);
                 let config = config.clone();
                 std::thread::spawn(move || {
                     while let Some(request) = queue.pop() {
-                        serve_one(&system, &*db, &config, &stats, worker_id, request);
+                        // Copy the engine knobs out at dequeue time: a
+                        // concurrent reconfiguration applies to queries
+                        // dequeued after it. The inner block drops the
+                        // guard before the (blocking) engine call.
+                        let engine = { *lock(&engine_config) };
+                        serve_one(&system, &*db, &config, &engine, &stats, worker_id, request);
                         // aimq-atomic: counter -- releases this request's backlog slot
                         in_flight.fetch_sub(1, Ordering::Relaxed);
                     }
@@ -140,6 +150,7 @@ impl QueryServer {
             // go but a growing backlog, so it is rejected instead.
             in_flight_limit: config.queue_capacity.max(1) + workers,
             in_queue_or_flight,
+            engine_config,
             workers: handles,
         }
     }
@@ -183,10 +194,36 @@ impl QueryServer {
         self.stats.snapshot()
     }
 
-    /// Stop admitting, drain the queue, join every worker, and return
-    /// the final counters. Admitted queries are all served.
-    pub fn shutdown(mut self) -> ServeStatsSnapshot {
+    /// The engine knobs queries are currently answered under (the
+    /// `GET /config` view).
+    pub fn engine_config(&self) -> EngineConfig {
+        *lock(&self.engine_config)
+    }
+
+    /// Replace the engine knobs. Queries dequeued after the call are
+    /// answered under `config`; queries already on a worker keep the
+    /// knobs they started with (a query is never reconfigured mid-run).
+    pub fn set_engine_config(&self, config: EngineConfig) {
+        *lock(&self.engine_config) = config;
+    }
+
+    /// Stop admitting new queries; everything already admitted keeps
+    /// being served. Idempotent. This is the first half of
+    /// [`QueryServer::shutdown`], exposed separately so a network front
+    /// end can sequence its own drain between the halves: stop
+    /// accepting connections → close admission → drain in-flight
+    /// replies → join the pool.
+    pub fn close(&self) {
         self.queue.close();
+    }
+
+    /// Stop admitting, drain the queue, join every worker, and return
+    /// the final counters. The ordering is the drain guarantee: the
+    /// queue closes first, the workers are joined — which delivers
+    /// every in-flight ticket's reply — and only then is the snapshot
+    /// taken, so it observes a fully drained server.
+    pub fn shutdown(mut self) -> ServeStatsSnapshot {
+        self.close();
         for handle in self.workers.drain(..) {
             // A worker that panicked already delivered `ShuttingDown`
             // to its waiters via the dropped channel; joining the rest
@@ -210,12 +247,13 @@ fn serve_one(
     system: &AimqSystem,
     db: &dyn WebDatabase,
     config: &ServeConfig,
+    engine: &EngineConfig,
     stats: &ServeStats,
     worker: usize,
     request: Request,
 ) {
     let deadline_db = DeadlineWebDb::new(db, config.deadline_ticks, config.ticks_per_probe);
-    let answer = system.answer(&deadline_db, &request.query, &config.engine);
+    let answer = system.answer(&deadline_db, &request.query, engine);
     let latency_ticks = deadline_db.elapsed_ticks();
     let missed = deadline_db.deadline_missed();
     stats.note_served(worker, latency_ticks, missed);
@@ -371,6 +409,89 @@ mod tests {
         for t in tickets {
             assert!(t.wait().is_ok());
         }
+    }
+
+    #[test]
+    fn reconfiguration_applies_to_later_queries() {
+        let (system, db, queries) = system_and_db();
+        let server = QueryServer::start(
+            system,
+            db,
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 8,
+                ..ServeConfig::default()
+            },
+        );
+        let q = queries.first().expect("queries").clone();
+        let before = server.submit(q.clone()).expect("admitted").wait();
+        let before = before.expect("served").answer;
+        assert_eq!(server.engine_config().top_k, 10);
+        let mut cfg = server.engine_config();
+        cfg.top_k = 3;
+        server.set_engine_config(cfg);
+        assert_eq!(server.engine_config().top_k, 3);
+        let after = server.submit(q).expect("admitted").wait();
+        let after = after.expect("served").answer;
+        assert!(after.answers.len() <= 3, "top_k=3 must cap the answers");
+        assert!(before.answers.len() >= after.answers.len());
+        server.shutdown();
+    }
+
+    #[test]
+    fn racing_shutdown_drops_no_admitted_replies() {
+        let (system, db, queries) = system_and_db();
+        let server = QueryServer::start(
+            system,
+            db,
+            ServeConfig {
+                workers: 2,
+                queue_capacity: 8,
+                ..ServeConfig::default()
+            },
+        );
+        // Three submitters race the close: whatever they get admitted
+        // must still be served; the rest must be refused with a typed
+        // error, never silently dropped.
+        let tickets: Vec<Ticket> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|t| {
+                    let server = &server;
+                    let queries = &queries;
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        for i in 0..8 {
+                            let q = queries[(t + i) % queries.len()].clone();
+                            if let Ok(ticket) = server.submit(q) {
+                                mine.push(ticket);
+                            }
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            server.close();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("submitter thread"))
+                .collect()
+        });
+        for ticket in tickets {
+            assert!(
+                ticket.wait().is_ok(),
+                "an admitted ticket must be served even across close()"
+            );
+        }
+        let final_stats = server.shutdown();
+        assert_eq!(
+            final_stats.replies_dropped, 0,
+            "shutdown must drain in-flight tickets before snapshotting: {final_stats:#?}"
+        );
+        assert_eq!(
+            final_stats.completed + final_stats.deadline_missed,
+            final_stats.admitted,
+            "every admitted query is served exactly once: {final_stats:#?}"
+        );
     }
 
     /// A database whose first probe blocks until the test's gate opens

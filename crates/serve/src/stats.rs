@@ -15,6 +15,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use aimq_catalog::Json;
+use serde::{Deserialize, Serialize};
+
 /// Number of power-of-two latency buckets: bucket `i` counts queries
 /// whose probe cost in ticks lies in `[2^(i-1), 2^i)` (bucket 0 holds
 /// zero-tick queries); the last bucket absorbs everything larger.
@@ -47,7 +50,7 @@ pub struct ServeStats {
 }
 
 /// Plain-value copy of [`ServeStats`] for reporting.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ServeStatsSnapshot {
     /// Queries offered to [`crate::QueryServer::submit`].
     pub submitted: u64,
@@ -145,6 +148,46 @@ impl ServeStats {
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
         }
+    }
+}
+
+impl ServeStatsSnapshot {
+    /// The snapshot as a deterministic [`Json`] object (field order is
+    /// declaration order) — the single serialization path shared by the
+    /// HTTP `GET /stats` route and the `serve-bench` report.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("submitted", Json::Num(self.submitted as f64)),
+            ("admitted", Json::Num(self.admitted as f64)),
+            ("rejected", Json::Num(self.rejected as f64)),
+            ("completed", Json::Num(self.completed as f64)),
+            ("deadline_missed", Json::Num(self.deadline_missed as f64)),
+            ("replies_dropped", Json::Num(self.replies_dropped as f64)),
+            ("max_queue_depth", Json::Num(self.max_queue_depth as f64)),
+            (
+                "latency_ticks_total",
+                Json::Num(self.latency_ticks_total as f64),
+            ),
+            (
+                "latency_hist",
+                Json::Arr(
+                    self.latency_hist
+                        .iter()
+                        .map(|&n| Json::Num(n as f64))
+                        .collect(),
+                ),
+            ),
+            (
+                "worker_processed",
+                Json::Arr(
+                    self.worker_processed
+                        .iter()
+                        .map(|&n| Json::Num(n as f64))
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 

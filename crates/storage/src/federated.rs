@@ -39,7 +39,8 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
-use aimq_catalog::{AttrId, Domain, Predicate, Schema, SelectionQuery, Tuple, Value};
+use aimq_catalog::{AttrId, Domain, Json, Predicate, Schema, SelectionQuery, Tuple, Value};
+use serde::{Deserialize, Serialize};
 
 use crate::web::lock_stats;
 use crate::{
@@ -218,7 +219,7 @@ impl Default for FederationPolicy {
 /// Health and contribution counters of one federation member, as recorded
 /// by the federator (post-resilience: a probe a member's retry layer
 /// absorbed is a success here).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SourceHealth {
     /// Member name (stable across snapshots).
     pub name: String,
@@ -261,6 +262,25 @@ impl SourceHealth {
             hedges_won: self.hedges_won.saturating_sub(earlier.hedges_won),
             breaker_open: self.breaker_open,
         }
+    }
+
+    /// The member's health counters as a deterministic [`Json`] object,
+    /// embedded by `DegradationReport::to_json` and the HTTP `/stats`
+    /// route.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("probes_attempted", Json::Num(self.probes_attempted as f64)),
+            ("probes_failed", Json::Num(self.probes_failed as f64)),
+            (
+                "tuples_contributed",
+                Json::Num(self.tuples_contributed as f64),
+            ),
+            ("hedges_fired", Json::Num(self.hedges_fired as f64)),
+            ("hedges_won", Json::Num(self.hedges_won as f64)),
+            ("breaker_open", Json::Bool(self.breaker_open)),
+        ])
     }
 }
 

@@ -2,7 +2,8 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
-use aimq_catalog::{Schema, SelectionQuery, Tuple};
+use aimq_catalog::{Json, Schema, SelectionQuery, Tuple};
+use serde::{Deserialize, Serialize};
 
 use crate::{execute, Relation};
 
@@ -86,7 +87,7 @@ impl QueryPage {
 /// fault-tolerance decorators ([`crate::FaultInjectingWebDb`],
 /// [`crate::ResilientWebDb`]) and by page truncation, so callers can tell
 /// a clean run from a degraded one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct AccessStats {
     /// Number of selection queries attempted against the source (failed
     /// attempts included — a timed-out query was still issued).
@@ -159,6 +160,31 @@ impl AccessStats {
             cache_misses: self.cache_misses.saturating_add(other.cache_misses),
             cache_evictions: self.cache_evictions.saturating_add(other.cache_evictions),
         }
+    }
+
+    /// The meter as a deterministic [`Json`] object — the single
+    /// serialization path shared by the HTTP `/stats` route and the
+    /// `serve-bench` report (field order is declaration order).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("queries_issued", Json::Num(self.queries_issued as f64)),
+            ("tuples_returned", Json::Num(self.tuples_returned as f64)),
+            ("failures", Json::Num(self.failures as f64)),
+            ("retries", Json::Num(self.retries as f64)),
+            (
+                "truncated_queries",
+                Json::Num(self.truncated_queries as f64),
+            ),
+            ("breaker_trips", Json::Num(self.breaker_trips as f64)),
+            (
+                "breaker_recoveries",
+                Json::Num(self.breaker_recoveries as f64),
+            ),
+            ("cache_hits", Json::Num(self.cache_hits as f64)),
+            ("cache_misses", Json::Num(self.cache_misses as f64)),
+            ("cache_evictions", Json::Num(self.cache_evictions as f64)),
+        ])
     }
 }
 

@@ -21,8 +21,8 @@ use crate::rules::{Finding, Severity};
 use crate::structure::FileAnalysis;
 
 const LAYER_HELP: &str = "the crate DAG is catalog → storage → {afd, sim} → rock → core → \
-                          {serve, cli, eval, bench}; depend only downward, or justify with \
-                          `aimq-lint: allow(layering) -- <why>` on the offending line";
+                          serve → {http, cli, eval, bench}; depend only downward, or justify \
+                          with `aimq-lint: allow(layering) -- <why>` on the offending line";
 
 /// Crate directories and the directories each may depend on. Crates
 /// absent from this table (e.g. lint fixtures with unknown names) are
@@ -40,6 +40,10 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
         &["catalog", "storage", "afd", "sim", "rock", "core"],
     ),
     (
+        "http",
+        &["catalog", "storage", "afd", "sim", "rock", "core", "serve"],
+    ),
+    (
         "eval",
         &[
             "catalog", "storage", "data", "afd", "sim", "rock", "core", "serve",
@@ -48,13 +52,13 @@ pub const ALLOWED_DEPS: &[(&str, &[&str])] = &[
     (
         "cli",
         &[
-            "catalog", "storage", "data", "afd", "sim", "rock", "core", "serve", "eval",
+            "catalog", "storage", "data", "afd", "sim", "rock", "core", "serve", "http", "eval",
         ],
     ),
     (
         "bench",
         &[
-            "catalog", "storage", "data", "afd", "sim", "rock", "core", "serve", "eval",
+            "catalog", "storage", "data", "afd", "sim", "rock", "core", "serve", "http", "eval",
         ],
     ),
 ];

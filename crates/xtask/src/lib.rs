@@ -37,7 +37,8 @@
 //!   payloads), and flag/seqlock roles must pair Acquire with Release.
 //! - **L7 layering**: cross-crate imports and `Cargo.toml` dependencies
 //!   must follow the crate DAG
-//!   (catalog → storage → {afd, sim} → rock → core → serve → bins).
+//!   (catalog → storage → {afd, sim} → rock → core → serve → http →
+//!   bins).
 //!
 //! Three effect-system families ride on a shared call-graph fixpoint
 //! (`callgraph` module) and the directive grammar (see the `effects`
@@ -83,7 +84,12 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Library crates under the panic-freedom + float-ordering rules.
-pub const PANIC_CRATES: &[&str] = &["catalog", "storage", "afd", "sim", "rock", "core", "serve"];
+/// `http` joined with the network front door: a malformed request or a
+/// dying socket must become a typed 400/transport error, never a panic
+/// in a connection thread.
+pub const PANIC_CRATES: &[&str] = &[
+    "catalog", "storage", "afd", "sim", "rock", "core", "serve", "http",
+];
 
 /// Crates whose outputs feed sorted/ranked results and therefore must
 /// not iterate hash containers or read the wall clock. `core` joined
@@ -93,7 +99,10 @@ pub const PANIC_CRATES: &[&str] = &["catalog", "storage", "afd", "sim", "rock", 
 /// joined with the posting-list executor, whose row sets must come back
 /// byte-identical run over run — the engine's answers are replayable
 /// byte for byte, so any hash container or time source these crates
-/// hold must be audited (and justified).
+/// hold must be audited (and justified). `http` is deliberately
+/// *absent*: sockets, read-timeout ticks, and the open-loop load
+/// generator's pacing are wall-clock by nature — the determinism
+/// boundary sits at `serve`, below the wire.
 pub const DETERMINISM_CRATES: &[&str] = &["afd", "sim", "rock", "core", "serve", "storage"];
 
 /// A rendered-ready diagnostic bound to a file.

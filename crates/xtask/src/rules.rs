@@ -2,13 +2,13 @@
 //!
 //! | id | severity | scope | what it catches |
 //! |---|---|---|---|
-//! | `panic` | error | seven library crates | `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
-//! | `indexing` | warning | seven library crates | direct `expr[...]` indexing/slicing |
-//! | `float-ordering` | error | seven library crates | `.partial_cmp(` calls on scores |
+//! | `panic` | error | eight library crates | `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
+//! | `indexing` | warning | eight library crates | direct `expr[...]` indexing/slicing |
+//! | `float-ordering` | error | eight library crates | `.partial_cmp(` calls on scores |
 //! | `hashmap` | error | `afd`, `sim`, `rock`, `core`, `serve` | any `HashMap`/`HashSet` use |
 //! | `wallclock` | error | `afd`, `sim`, `rock`, `core`, `serve` | `thread::sleep(`, `Instant::now()`, `SystemTime::now()`, `.elapsed()` |
-//! | `lock-discipline` | error | seven library crates | unannotated lock fields, unresolvable/nested acquisitions that close ordering cycles, guards held across blocking calls |
-//! | `atomics-audit` | error | seven library crates | atomic fields without a role annotation, `Relaxed` outside `counter` roles, unpaired Acquire/Release |
+//! | `lock-discipline` | error | eight library crates | unannotated lock fields, unresolvable/nested acquisitions that close ordering cycles, guards held across blocking calls |
+//! | `atomics-audit` | error | eight library crates | atomic fields without a role annotation, `Relaxed` outside `counter` roles, unpaired Acquire/Release |
 //! | `layering` | error | all aimq crates | upward or undeclared cross-crate dependencies and imports |
 //! | `probe-effect` | error | all aimq crates | inferred probing paths in probe-free crates, probes under a live guard, unannotated or stale probing entry points |
 //! | `result-discipline` | error | all aimq crates | `let _ =`, terminal `.ok();`, bare calls discarding fault-carrying `Result`s, wildcard `_ =>` arms over fault enums |
@@ -380,9 +380,9 @@ pub const RULES: &[RuleInfo] = &[
         summary: "cross-crate dependencies or imports that go up the crate DAG, or that \
                   Cargo.toml never declared",
         rationale: "the workspace layers catalog → storage → {afd, sim} → rock → core → \
-                    {serve, cli, eval, bench}; an upward import (storage reaching into \
-                    serve) couples probe plumbing to policy and blocks reuse of the lower \
-                    layers.",
+                    serve → {http, cli, eval, bench}; an upward import (storage reaching \
+                    into serve, or serve reaching into http) couples probe plumbing to \
+                    policy and blocks reuse of the lower layers.",
         remedy: "move the shared type down (usually into catalog or storage), or justify \
                  with `# aimq-lint: allow(layering) -- <why>` on the Cargo.toml line / \
                  `// aimq-lint: allow(layering) -- <why>` on the import.",

@@ -20,6 +20,8 @@
 //!   ranking ([`engine::AimqSystem`] is the main entry point);
 //! * [`serve`] — concurrent query-serving runtime: worker pool,
 //!   bounded admission queue, per-query deadlines over virtual time;
+//! * [`http`] — the network front door: an HTTP/1.1 server over
+//!   [`serve`], plus a minimal client and an open-loop load generator;
 //! * [`data`] — seeded synthetic CarDB / CensusDB generators;
 //! * [`eval`] — runners reproducing every table and figure of the
 //!   paper's evaluation.
@@ -82,6 +84,12 @@ pub mod engine {
 /// per-query deadlines over virtual time, serving stats.
 pub mod serve {
     pub use aimq_serve::*;
+}
+
+/// HTTP/1.1 front door over [`serve`]: MeiliDB-shaped routes, typed
+/// error mapping, graceful drain, client and open-loop load generator.
+pub mod http {
+    pub use aimq_http::*;
 }
 
 /// Synthetic CarDB / CensusDB generators and the latent oracle.

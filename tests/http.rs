@@ -1,0 +1,152 @@
+//! The tentpole guarantee of the HTTP front door: the wire path is
+//! I/O-only. A search served over a real socket must produce a `result`
+//! member **byte-identical** to the in-process engine's serialized
+//! [`AnswerSet`] for the same query against an identically-built source
+//! stack — same answers, same similarities, same degradation report,
+//! same JSON bytes.
+
+use std::sync::Arc;
+
+use aimq_suite::catalog::{ImpreciseQuery, Json, Value};
+use aimq_suite::data::CarDb;
+use aimq_suite::engine::{AimqSystem, EngineConfig, TrainConfig};
+use aimq_suite::http::{client, AimqHttpServer, HttpConfig};
+use aimq_suite::serve::ServeConfig;
+use aimq_suite::storage::{CachedWebDb, InMemoryWebDb, Relation, WebDatabase};
+
+fn build_stack(relation: &Relation) -> Arc<dyn WebDatabase> {
+    Arc::new(CachedWebDb::with_stripes(
+        InMemoryWebDb::new(relation.clone()),
+        1024,
+        8,
+    ))
+}
+
+/// The eval-suite query shape: each query binds every non-null
+/// attribute of a probe tuple, in schema order — exactly the pairs the
+/// HTTP body carries, so the wire and in-process paths see the same
+/// bindings in the same order.
+fn query_bindings(relation: &Relation, row: u32) -> Vec<(String, Value)> {
+    let schema = relation.schema();
+    let tuple = relation.tuple(row);
+    schema
+        .attributes()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, attr)| {
+            let value = tuple.values().get(i)?;
+            if matches!(value, Value::Null) {
+                None
+            } else {
+                Some((attr.name().to_string(), value.clone()))
+            }
+        })
+        .collect()
+}
+
+fn to_http_body(bindings: &[(String, Value)]) -> String {
+    let pairs = bindings
+        .iter()
+        .map(|(name, value)| (name.clone(), value.to_json()))
+        .collect();
+    Json::Obj(vec![("query".to_string(), Json::Obj(pairs))]).to_string_compact()
+}
+
+fn to_query(relation: &Relation, bindings: &[(String, Value)]) -> ImpreciseQuery {
+    let mut builder = ImpreciseQuery::builder(relation.schema());
+    for (name, value) in bindings {
+        builder = builder.like(name, value.clone()).expect("known attribute");
+    }
+    builder.build().expect("non-empty query")
+}
+
+#[test]
+fn http_search_results_are_byte_identical_to_the_in_process_engine() {
+    let relation = CarDb::generate(1200, 19);
+    let sample = relation.random_sample(500, 3);
+    let system = Arc::new(AimqSystem::train(&sample, &TrainConfig::default()).unwrap());
+    let queries: Vec<Vec<(String, Value)>> = (0..5u32)
+        .map(|i| query_bindings(&relation, i * 83))
+        .collect();
+
+    // Reference: the in-process engine replaying the suite serially on
+    // a cold, identically-built stack.
+    let reference: Vec<String> = {
+        let stack = build_stack(&relation);
+        queries
+            .iter()
+            .map(|bindings| {
+                let q = to_query(&relation, bindings);
+                system
+                    .answer(&*stack, &q, &EngineConfig::default())
+                    .to_json(relation.schema())
+                    .to_string_compact()
+            })
+            .collect()
+    };
+
+    // Wire path: one worker, sequential requests — the same replay, but
+    // every byte crosses a real socket.
+    let server = AimqHttpServer::start(
+        Arc::clone(&system),
+        build_stack(&relation),
+        HttpConfig {
+            addr: "127.0.0.1:0".to_string(),
+            index: "cardb".to_string(),
+            serve: ServeConfig {
+                workers: 1,
+                queue_capacity: 8,
+                ..ServeConfig::default()
+            },
+        },
+    )
+    .expect("bind");
+
+    for (bindings, expected) in queries.iter().zip(&reference) {
+        let body = to_http_body(bindings);
+        let reply = client::request(server.addr(), "POST", "/indexes/cardb/search", Some(&body))
+            .expect("search reply");
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        let parsed = Json::parse(&reply.body).expect("response is JSON");
+        let result = parsed
+            .get("result")
+            .expect("search response carries `result`");
+        assert_eq!(
+            &result.to_string_compact(),
+            expected,
+            "wire result must be byte-identical to the in-process answer"
+        );
+        assert_eq!(
+            parsed.get("deadline_exceeded").and_then(Json::as_bool),
+            Some(false)
+        );
+    }
+
+    // Replaying a query on the warm stack changes cache traffic — and
+    // therefore the meter-derived `stats` member — but not one byte of
+    // the ranked answers, base query, or degradation report (the
+    // comparable surface per `aimq-serve`'s determinism contract).
+    if let (Some(bindings), Some(expected)) = (queries.first(), reference.first()) {
+        let reply = client::request(
+            server.addr(),
+            "POST",
+            "/indexes/cardb/search",
+            Some(&to_http_body(bindings)),
+        )
+        .expect("repeat reply");
+        let parsed = Json::parse(&reply.body).expect("response is JSON");
+        let result = parsed.get("result").expect("result");
+        let expected = Json::parse(expected).expect("reference is JSON");
+        for member in ["answers", "base_query", "base_set_size", "degradation"] {
+            assert_eq!(
+                result.get(member).map(Json::to_string_compact),
+                expected.get(member).map(Json::to_string_compact),
+                "warm replay must preserve `{member}` byte-for-byte"
+            );
+        }
+    }
+
+    let final_stats = server.shutdown();
+    assert_eq!(final_stats.completed, queries.len() as u64 + 1);
+    assert_eq!(final_stats.replies_dropped, 0);
+}
