@@ -89,11 +89,8 @@ fn read_reply(stream: &mut TcpStream) -> io::Result<Reply> {
     let mut headers = Vec::new();
     let mut content_length: usize = 0;
     for line in lines {
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| bad("malformed header"))?;
-        let name = name.trim().to_ascii_lowercase();
-        let value = value.trim().to_string();
+        let (name, value) =
+            crate::wire::parse_header_line(line).ok_or_else(|| bad("malformed header"))?;
         if name == "content-length" {
             content_length = value.parse().map_err(|_| bad("bad content-length"))?;
         }

@@ -118,6 +118,17 @@ fn find_subslice(hay: &[u8], needle: &[u8]) -> Option<usize> {
     hay.windows(needle.len()).position(|w| w == needle)
 }
 
+/// Parse one `Name: value` header line into a lowercased name and a
+/// trimmed value, or `None` when the line has no colon. The single
+/// normalization point for both directions of the wire: the server's
+/// request decoder and the test client's response reader share it, so
+/// header matching (`content-length`, `retry-after`, …) can never
+/// disagree on case or whitespace between the two paths.
+pub(crate) fn parse_header_line(line: &str) -> Option<(String, String)> {
+    let (name, value) = line.split_once(':')?;
+    Some((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+}
+
 impl Decoder {
     /// A fresh decoder with an empty buffer.
     pub fn new() -> Decoder {
@@ -171,9 +182,7 @@ impl Decoder {
         let mut headers = Vec::new();
         let mut content_length: usize = 0;
         for line in lines {
-            let (name, value) = line.split_once(':').ok_or(FrameError::BadHeader)?;
-            let name = name.trim().to_ascii_lowercase();
-            let value = value.trim().to_string();
+            let (name, value) = parse_header_line(line).ok_or(FrameError::BadHeader)?;
             if name == "content-length" {
                 content_length = value.parse().map_err(|_| FrameError::BadContentLength)?;
             }

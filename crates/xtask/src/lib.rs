@@ -61,6 +61,26 @@
 //!   must become `saturating_*`/`checked_*` or carry
 //!   `// aimq-arith: allow -- <invariant>`.
 //!
+//! Three wire-contract families guard what clients of the HTTP front
+//! door actually see (the `wire` and `dataflow` modules):
+//!
+//! - **L11 wire-drift**: the JSON shape every `to_json()` produces is
+//!   extracted statically (keys from object literals, `Json::Obj`
+//!   construction marking dynamic shapes) into an inventory pinned at
+//!   `results/WIRE_SCHEMA.json` (`cargo xtask wire --write`); stale
+//!   pins, duplicate keys, and keys emitted under conditionals without
+//!   `// aimq-wire: optional -- <why>` are errors.
+//! - **L12 error-surface**: every watched fault-enum variant the
+//!   `http` crate handles must be *named* there as `Enum::Variant`,
+//!   and every `Response::error` machine code must be a string literal
+//!   that appears — with a matching status — in the DESIGN.md
+//!   `| machine code | status |` table (stale rows are errors too).
+//! - **L13 degradation-flow**: intra-procedural def-use tracking over
+//!   the token stream taints every constructed fault-enum value and
+//!   errors unless it reaches a sink (return/`?`/match-arm/tail, a
+//!   call or recorder argument, a tracked `let` whose use sinks, or
+//!   `// aimq-fault: sink -- <where accounting lives>`).
+//!
 //! Diagnostics are rustc-style with file:line:col spans; per-line
 //! suppressions use `// aimq-lint: allow(<rule>) -- <justification>`
 //! and the justification is mandatory. `--json` emits the same
@@ -71,12 +91,14 @@
 
 pub mod callgraph;
 pub mod concurrency;
+pub mod dataflow;
 pub mod effects;
 pub mod json;
 pub mod layering;
 pub mod rules;
 pub mod source;
 pub mod structure;
+pub mod wire;
 
 pub use rules::{rule_info, Finding, RuleInfo, RuleSet, Severity, KNOWN_RULES, RULES};
 
@@ -233,6 +255,88 @@ pub fn lint_root(root: &Path) -> std::io::Result<LintReport> {
         .collect();
     late.extend(effects::check_workspace(&eff_files).findings);
 
+    // Pass 2d: wire-contract rules (L11 wire-drift shape extraction,
+    // L12 error-surface) over every crate, plus the doc-anchored
+    // checks against DESIGN.md and the pinned schema inventory.
+    let wire_files: Vec<wire::WireFile> = entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| wire::WireFile {
+            idx: i,
+            crate_name: e.crate_name.as_str(),
+            rel: e.rel.display().to_string(),
+            scanned: &e.scanned,
+        })
+        .collect();
+    let design_text = std::fs::read_to_string(root.join("DESIGN.md")).ok();
+    let wire_report = wire::check_workspace(&wire_files, design_text.as_deref());
+    late.extend(wire_report.findings);
+    for df in &wire_report.design_findings {
+        let design_lines: Vec<&str> = design_text.as_deref().unwrap_or("").lines().collect();
+        report.diagnostics.push(Diagnostic {
+            rule: "error-surface".to_string(),
+            severity: Severity::Error,
+            path: PathBuf::from("DESIGN.md"),
+            line: df.line,
+            col: 1,
+            message: df.message.clone(),
+            snippet: design_lines
+                .get(df.line.saturating_sub(1))
+                .map(|l| l.trim_end().to_string())
+                .unwrap_or_default(),
+            help: df.help.to_string(),
+        });
+    }
+    // Pin freshness: the checked-in inventory must match what the
+    // extractor sees. Trees with no `to_json` surface and no pin file
+    // (most lint fixtures) carry no obligation.
+    let pin_path = root.join("results").join("WIRE_SCHEMA.json");
+    let pinned = std::fs::read_to_string(&pin_path).ok();
+    if !wire_report.shapes.is_empty() || pinned.is_some() {
+        let rendered = wire::render_inventory(&wire_report.shapes);
+        let (stale, message) = match &pinned {
+            None => (
+                true,
+                format!(
+                    "results/WIRE_SCHEMA.json is missing but {} JSON shape(s) exist",
+                    wire_report.shapes.len()
+                ),
+            ),
+            Some(text) if *text != rendered => (
+                true,
+                "results/WIRE_SCHEMA.json is stale: the pinned JSON schema inventory does \
+                 not match the shapes the `to_json` impls produce"
+                    .to_string(),
+            ),
+            Some(_) => (false, String::new()),
+        };
+        if stale {
+            report.diagnostics.push(Diagnostic {
+                rule: "wire-drift".to_string(),
+                severity: Severity::Error,
+                path: PathBuf::from("results/WIRE_SCHEMA.json"),
+                line: 1,
+                col: 1,
+                message,
+                snippet: String::new(),
+                help: "regenerate with `cargo xtask pin --write` (or `wire --write`) and \
+                       review the diff like any other contract change"
+                    .to_string(),
+            });
+        }
+    }
+
+    // Pass 2e: L13 degradation-flow def-use tracking, every crate.
+    let flow_files: Vec<dataflow::DataflowFile> = entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| dataflow::DataflowFile {
+            idx: i,
+            scanned: &e.scanned,
+        })
+        .collect();
+    late.extend(dataflow::check_workspace(&flow_files));
+
     for (idx, finding) in late {
         let entry = &entries[idx];
         if entry.scanned.is_allowed(finding.rule, finding.line) {
@@ -360,6 +464,24 @@ pub fn probe_summary(root: &Path) -> std::io::Result<ProbeSummary> {
     out.entries.sort();
     out.entries.dedup();
     Ok(out)
+}
+
+/// Render the wire-schema inventory for the workspace at `root` —
+/// the exact text pinned at `results/WIRE_SCHEMA.json`.
+pub fn wire_inventory(root: &Path) -> std::io::Result<String> {
+    let (_, entries) = scan_workspace(root)?;
+    let wire_files: Vec<wire::WireFile> = entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| wire::WireFile {
+            idx: i,
+            crate_name: e.crate_name.as_str(),
+            rel: e.rel.display().to_string(),
+            scanned: &e.scanned,
+        })
+        .collect();
+    let report = wire::check_workspace(&wire_files, None);
+    Ok(wire::render_inventory(&report.shapes))
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

@@ -8,6 +8,8 @@
 //! cargo xtask lint --changed       # scope per-file findings to git-changed files
 //! cargo xtask lint --explain RULE  # print a rule's rationale and remedy
 //! cargo xtask probes               # print the probing entry-point list
+//! cargo xtask wire                 # print the JSON wire-schema inventory
+//! cargo xtask pin --write          # regenerate both pinned artifacts
 //! cargo xtask annotate lint.json   # GitHub ::error annotations from --json
 //! ```
 
@@ -19,6 +21,8 @@ fn main() -> ExitCode {
     match args.next().as_deref() {
         Some("lint") => lint(args.collect()),
         Some("probes") => probes(args.collect()),
+        Some("wire") => wire(args.collect()),
+        Some("pin") => pin(args.collect()),
         Some("annotate") => annotate(args.collect()),
         Some(other) => {
             eprintln!("unknown xtask command `{other}`");
@@ -37,6 +41,8 @@ fn usage() {
         "usage: cargo xtask lint [--root DIR] [--deny-warnings] [--json] [--changed] \
          [--explain RULE]\n\
          \x20      cargo xtask probes [--root DIR] [--write]\n\
+         \x20      cargo xtask wire [--root DIR] [--write]\n\
+         \x20      cargo xtask pin [--root DIR] [--write]\n\
          \x20      cargo xtask annotate <lint.json>"
     );
 }
@@ -79,7 +85,13 @@ fn git_changed_files(root: &std::path::Path) -> Option<std::collections::BTreeSe
 /// Rules whose findings depend on workspace-wide state: a change in
 /// one file can surface a finding in an unchanged file, so `--changed`
 /// never filters them out.
-const CROSS_FILE_RULES: &[&str] = &["lock-discipline", "layering", "probe-effect"];
+const CROSS_FILE_RULES: &[&str] = &[
+    "lock-discipline",
+    "layering",
+    "probe-effect",
+    "wire-drift",
+    "error-surface",
+];
 
 fn explain(rule: &str) -> ExitCode {
     let Some(info) = xtask::rule_info(rule) else {
@@ -249,6 +261,115 @@ fn probes(args: Vec<String>) -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// Parse the shared `[--root DIR] [--write]` tail used by the pinned-
+/// artifact commands.
+fn pin_flags(args: Vec<String>) -> Result<(PathBuf, bool), ExitCode> {
+    let mut root = default_root();
+    let mut write = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root requires a directory");
+                    return Err(ExitCode::from(2));
+                }
+            },
+            "--write" => write = true,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+                return Err(ExitCode::from(2));
+            }
+        }
+    }
+    Ok((root, write))
+}
+
+/// Print (or, with `--write`, pin) the JSON wire-schema inventory —
+/// the exact text CI diffs against `results/WIRE_SCHEMA.json`.
+fn wire(args: Vec<String>) -> ExitCode {
+    let (root, write) = match pin_flags(args) {
+        Ok(parsed) => parsed,
+        Err(code) => return code,
+    };
+    match xtask::wire_inventory(&root) {
+        Ok(rendered) => {
+            if write {
+                let pin = root.join("results").join("WIRE_SCHEMA.json");
+                if let Some(dir) = pin.parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                if let Err(err) = std::fs::write(&pin, &rendered) {
+                    eprintln!("error: failed to write {}: {err}", pin.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!("wrote wire schema inventory to {}", pin.display());
+            } else {
+                print!("{rendered}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: failed to scan {}: {err}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Regenerate every pinned artifact in one documented entry point:
+/// `results/PROBE_ENTRYPOINTS.txt` (L8) and `results/WIRE_SCHEMA.json`
+/// (L11). Without `--write`, prints both with headers so CI and humans
+/// can eyeball the would-be pins.
+fn pin(args: Vec<String>) -> ExitCode {
+    let (root, write) = match pin_flags(args) {
+        Ok(parsed) => parsed,
+        Err(code) => return code,
+    };
+    let probes_rendered = match xtask::probe_summary(&root) {
+        Ok(summary) => {
+            let mut rendered = String::new();
+            for entry in &summary.entries {
+                rendered.push_str(&format!("{} {}\n", entry.path.display(), entry.fn_name));
+            }
+            rendered
+        }
+        Err(err) => {
+            eprintln!("error: failed to scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let wire_rendered = match xtask::wire_inventory(&root) {
+        Ok(rendered) => rendered,
+        Err(err) => {
+            eprintln!("error: failed to scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if write {
+        let results = root.join("results");
+        let _ = std::fs::create_dir_all(&results);
+        for (name, rendered) in [
+            ("PROBE_ENTRYPOINTS.txt", &probes_rendered),
+            ("WIRE_SCHEMA.json", &wire_rendered),
+        ] {
+            let pin = results.join(name);
+            if let Err(err) = std::fs::write(&pin, rendered) {
+                eprintln!("error: failed to write {}: {err}", pin.display());
+                return ExitCode::from(2);
+            }
+            eprintln!("pinned {}", pin.display());
+        }
+    } else {
+        println!("# results/PROBE_ENTRYPOINTS.txt");
+        print!("{probes_rendered}");
+        println!("# results/WIRE_SCHEMA.json");
+        print!("{wire_rendered}");
+    }
+    ExitCode::SUCCESS
 }
 
 /// Turn `--json` output into GitHub Actions annotations. Exit status

@@ -13,6 +13,9 @@
 //! | `probe-effect` | error | all aimq crates | inferred probing paths in probe-free crates, probes under a live guard, unannotated or stale probing entry points |
 //! | `result-discipline` | error | all aimq crates | `let _ =`, terminal `.ok();`, bare calls discarding fault-carrying `Result`s, wildcard `_ =>` arms over fault enums |
 //! | `counter-arith` | error | all aimq crates | unchecked `+`/`-`/`*` arithmetic touching tracked budget/counter fields |
+//! | `wire-drift` | error | all aimq crates | stale `results/WIRE_SCHEMA.json`, duplicate JSON keys, unannotated conditional keys in `to_json` bodies |
+//! | `error-surface` | error | all aimq crates | fault-enum variants never named at the HTTP boundary, machine codes missing from (or drifted against) the DESIGN.md status-code table |
+//! | `degradation-flow` | error | all aimq crates | constructed fault-enum values that never reach a sink (return, `?`, call/recorder, tail position) |
 //! | `lint-allow` | error | everywhere linted | malformed, unjustified, or unknown-rule suppression directives |
 //!
 //! `indexing` is warn-level by default — mirroring clippy's
@@ -276,6 +279,9 @@ pub const KNOWN_RULES: &[&str] = &[
     "probe-effect",
     "result-discipline",
     "counter-arith",
+    "wire-drift",
+    "error-surface",
+    "degradation-flow",
 ];
 
 /// One registry entry backing `cargo xtask lint --explain <rule>` and
@@ -428,6 +434,52 @@ pub const RULES: &[RuleInfo] = &[
         remedy: "track fields with `// aimq-atomic: counter` or `// aimq-arith: counter -- \
                  <what it counts>`, use `saturating_*`/`checked_*` arithmetic on them, and \
                  justify bounded sites with `// aimq-arith: allow -- <invariant>`.",
+    },
+    RuleInfo {
+        id: "wire-drift",
+        severity: Severity::Error,
+        summary: "stale `results/WIRE_SCHEMA.json`, duplicate keys in one JSON object \
+                  literal, and keys emitted under conditionals without an \
+                  `aimq-wire: optional` annotation",
+        rationale: "clients of the HTTP front door parse the JSON the `to_json()` impls \
+                    emit; a renamed key, a duplicated key whose survivor is an accident of \
+                    construction order, or a key that silently disappears in one match arm \
+                    all compile clean — the pinned schema inventory turns each into a lint \
+                    failure with a reviewable diff.",
+        remedy: "regenerate the inventory with `cargo xtask pin --write` (or `wire \
+                 --write`) and commit the diff; rename/remove duplicate keys; annotate \
+                 intentionally conditional keys with `// aimq-wire: optional -- <when \
+                 clients see the key absent>`.",
+    },
+    RuleInfo {
+        id: "error-surface",
+        severity: Severity::Error,
+        summary: "fault-enum variants never named at the HTTP mapping boundary, and \
+                  `Response::error` machine codes that drift from the DESIGN.md \
+                  status-code table",
+        rationale: "the fault taxonomy is only explainable if every variant has a decided \
+                    wire mapping and every machine code clients can see is documented with \
+                    its status; a rewritten match that absorbs a variant, or an ad-hoc \
+                    code invented at one call site, silently changes the public error \
+                    surface.",
+        remedy: "name every watched variant as `Enum::Variant` in the http crate's \
+                 mapping code, pass machine codes as string literals, and keep the \
+                 DESIGN.md `| machine code | status |` table in sync (add new codes, \
+                 delete stale rows).",
+    },
+    RuleInfo {
+        id: "degradation-flow",
+        severity: Severity::Error,
+        summary: "constructed fault-enum values (`QueryError`, `ProbeError`, \
+                  `ServeError`) that never reach a sink",
+        rationale: "the paper's degradation accounting treats the explanation as part of \
+                    the answer; a fault value built and then dropped is a probe failure \
+                    the `DegradationReport` never hears about, and it compiles clean \
+                    because dropping a value is not an error in Rust.",
+        remedy: "return or `?`-raise the value, pass it into a recorder \
+                 (`AccessStats`, `DegradationReport`) or any call, or annotate \
+                 `// aimq-fault: sink -- <where the accounting lives>` when the sink is \
+                 real but invisible to the lexical pass.",
     },
     RuleInfo {
         id: "lint-allow",

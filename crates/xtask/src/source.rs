@@ -54,6 +54,10 @@ pub struct ScannedFile {
     pub probe_directives: Vec<ProbeDirective>,
     /// Parsed `aimq-arith:` annotations (L10 counter arithmetic).
     pub arith_directives: Vec<ArithDirective>,
+    /// Parsed `aimq-wire: optional` annotations (L11 wire drift).
+    pub wire_directives: Vec<WireDirective>,
+    /// Parsed `aimq-fault: sink` annotations (L13 degradation flow).
+    pub fault_directives: Vec<FaultDirective>,
     /// Malformed directives (missing justification, bad syntax).
     pub bad_directives: Vec<(usize, String)>,
 }
@@ -164,6 +168,42 @@ pub struct ProbeDirective {
     pub justification: String,
 }
 
+/// A parsed `// aimq-wire: optional -- justification` annotation (L11).
+///
+/// Marks a JSON key that is emitted only under a conditional (a match
+/// arm or `if` branch inside a `to_json()` body) as *intentionally*
+/// optional on the wire; the justification must say when clients can
+/// expect the key to be absent. The lint errors on conditional keys
+/// without this annotation and on stale annotations whose line no
+/// longer emits a conditional key.
+#[derive(Debug, Clone)]
+pub struct WireDirective {
+    /// Line the directive text sits on (1-based).
+    pub line: usize,
+    /// The line of code (the key literal's line) the annotation covers.
+    pub target_line: usize,
+    /// Justification text after `--`.
+    pub justification: String,
+}
+
+/// A parsed `// aimq-fault: sink -- justification` annotation (L13).
+///
+/// Marks a fault-enum construction site whose value reaches accounting
+/// through a path the dataflow walk cannot see (stored into a field
+/// read elsewhere, threaded through a callback); the justification
+/// must say where the accounting lives. The lint errors on constructed
+/// faults that reach no sink and on stale annotations whose line no
+/// longer constructs a fault.
+#[derive(Debug, Clone)]
+pub struct FaultDirective {
+    /// Line the directive text sits on (1-based).
+    pub line: usize,
+    /// The line of code (the construction's line) the annotation covers.
+    pub target_line: usize,
+    /// Justification text after `--`.
+    pub justification: String,
+}
+
 /// What an `aimq-arith:` annotation asserts (L10 counter arithmetic).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ArithAnnotation {
@@ -196,6 +236,8 @@ const LOCK_DIRECTIVE: &str = "aimq-lock:";
 const ATOMIC_DIRECTIVE: &str = "aimq-atomic:";
 const PROBE_DIRECTIVE: &str = "aimq-probe:";
 const ARITH_DIRECTIVE: &str = "aimq-arith:";
+const WIRE_DIRECTIVE: &str = "aimq-wire:";
+const FAULT_DIRECTIVE: &str = "aimq-fault:";
 
 /// Scan `text` into classes, tokens, test regions and suppressions.
 pub fn scan(text: &str) -> ScannedFile {
@@ -213,6 +255,8 @@ pub fn scan(text: &str) -> ScannedFile {
         atomic_directives: directives.atomics,
         probe_directives: directives.probes,
         arith_directives: directives.ariths,
+        wire_directives: directives.wires,
+        fault_directives: directives.faults,
         bad_directives: directives.bad,
     }
 }
@@ -511,6 +555,8 @@ struct Directives {
     atomics: Vec<AtomicDirective>,
     probes: Vec<ProbeDirective>,
     ariths: Vec<ArithDirective>,
+    wires: Vec<WireDirective>,
+    faults: Vec<FaultDirective>,
     bad: Vec<(usize, String)>,
 }
 
@@ -521,6 +567,8 @@ fn collect_directives(text: &str, classes: &[ByteClass]) -> Directives {
         atomics: Vec::new(),
         probes: Vec::new(),
         ariths: Vec::new(),
+        wires: Vec::new(),
+        faults: Vec::new(),
         bad: Vec::new(),
     };
     let mut offset = 0usize;
@@ -613,6 +661,26 @@ fn collect_directives(text: &str, classes: &[ByteClass]) -> Directives {
                     line,
                     target_line: target_of(idx),
                     annotation,
+                    justification,
+                }),
+                Err(msg) => out.bad.push((line, msg)),
+            }
+        } else if let Some(pos) = comment.find(WIRE_DIRECTIVE) {
+            let body = comment[pos + WIRE_DIRECTIVE.len()..].trim();
+            match parse_wire(body) {
+                Ok(justification) => out.wires.push(WireDirective {
+                    line,
+                    target_line: target_of(idx),
+                    justification,
+                }),
+                Err(msg) => out.bad.push((line, msg)),
+            }
+        } else if let Some(pos) = comment.find(FAULT_DIRECTIVE) {
+            let body = comment[pos + FAULT_DIRECTIVE.len()..].trim();
+            match parse_fault(body) {
+                Ok(justification) => out.faults.push(FaultDirective {
+                    line,
+                    target_line: target_of(idx),
                     justification,
                 }),
                 Err(msg) => out.bad.push((line, msg)),
@@ -730,6 +798,38 @@ fn parse_probe(body: &str) -> Result<String, String> {
         return Err(format!(
             "probing entry point requires a justification: \
              `{PROBE_DIRECTIVE} entry -- <where budget/degradation accounting lives>`"
+        ));
+    }
+    Ok(justification.to_string())
+}
+
+/// Parse `optional -- justification`.
+fn parse_wire(body: &str) -> Result<String, String> {
+    let tail = body
+        .strip_prefix("optional")
+        .ok_or_else(|| format!("expected `optional` after `{WIRE_DIRECTIVE}`"))?
+        .trim();
+    let justification = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+    if justification.is_empty() {
+        return Err(format!(
+            "optional wire key requires a justification: \
+             `{WIRE_DIRECTIVE} optional -- <when clients see the key absent>`"
+        ));
+    }
+    Ok(justification.to_string())
+}
+
+/// Parse `sink -- justification`.
+fn parse_fault(body: &str) -> Result<String, String> {
+    let tail = body
+        .strip_prefix("sink")
+        .ok_or_else(|| format!("expected `sink` after `{FAULT_DIRECTIVE}`"))?
+        .trim();
+    let justification = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+    if justification.is_empty() {
+        return Err(format!(
+            "fault sink annotation requires a justification: \
+             `{FAULT_DIRECTIVE} sink -- <where the accounting lives>`"
         ));
     }
     Ok(justification.to_string())
@@ -907,5 +1007,41 @@ mod tests {
         assert_eq!(unknown.bad_directives.len(), 1);
         let bare = scan("x += 1; // aimq-arith: allow");
         assert_eq!(bare.bad_directives.len(), 1);
+    }
+
+    #[test]
+    fn wire_optional_directive_parses_and_targets_the_key_line() {
+        let src = "// aimq-wire: optional -- only on relaxed answers\n(\"base_index\", Json::Num(i)),";
+        let f = scan(src);
+        assert!(f.bad_directives.is_empty(), "{:?}", f.bad_directives);
+        assert_eq!(f.wire_directives.len(), 1);
+        assert_eq!(f.wire_directives[0].target_line, 2);
+        let trailing = scan("(\"kind\", Json::Str(s)), // aimq-wire: optional -- arm-specific");
+        assert_eq!(trailing.wire_directives[0].target_line, 1);
+    }
+
+    #[test]
+    fn wire_directive_requires_keyword_and_justification() {
+        let bare = scan("// aimq-wire: optional\n(\"k\", Json::Null),");
+        assert_eq!(bare.bad_directives.len(), 1);
+        let wrong = scan("// aimq-wire: maybe -- nope\n(\"k\", Json::Null),");
+        assert_eq!(wrong.bad_directives.len(), 1);
+    }
+
+    #[test]
+    fn fault_sink_directive_parses_and_targets_the_construction_line() {
+        let src = "// aimq-fault: sink -- recorded into AccessStats by the caller\nlet e = QueryError::Timeout;";
+        let f = scan(src);
+        assert!(f.bad_directives.is_empty(), "{:?}", f.bad_directives);
+        assert_eq!(f.fault_directives.len(), 1);
+        assert_eq!(f.fault_directives[0].target_line, 2);
+    }
+
+    #[test]
+    fn fault_directive_requires_keyword_and_justification() {
+        let bare = scan("// aimq-fault: sink\nlet e = QueryError::Timeout;");
+        assert_eq!(bare.bad_directives.len(), 1);
+        let wrong = scan("// aimq-fault: source -- nope\nlet e = QueryError::Timeout;");
+        assert_eq!(wrong.bad_directives.len(), 1);
     }
 }

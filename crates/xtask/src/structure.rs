@@ -331,16 +331,19 @@ fn find_fields(file: &ScannedFile, types: &[&str]) -> Vec<(String, usize, usize)
     out
 }
 
-struct FnSpan {
-    name: String,
-    line: usize,
+/// A function's name plus the token span of its brace-matched body —
+/// shared with the wire-contract (`wire`) and dataflow (`dataflow`)
+/// passes, which walk bodies on their own terms.
+pub(crate) struct FnSpan {
+    pub(crate) name: String,
+    pub(crate) line: usize,
     /// Token index of the body `{`.
-    body_start: usize,
+    pub(crate) body_start: usize,
     /// Token index one past the matching `}`.
-    body_end: usize,
+    pub(crate) body_end: usize,
 }
 
-fn find_functions(toks: &[Token]) -> Vec<FnSpan> {
+pub(crate) fn find_functions(toks: &[Token]) -> Vec<FnSpan> {
     let mut out = Vec::new();
     let mut k = 0;
     while k < toks.len() {

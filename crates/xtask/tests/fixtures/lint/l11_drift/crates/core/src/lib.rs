@@ -1,0 +1,26 @@
+//! L11 fixture: a duplicate key in a `to_json` object literal, an
+//! unannotated conditional key, a stale optional-key annotation
+//! covering nothing, and no pinned schema inventory
+//! at `results/WIRE_SCHEMA.json`.
+
+pub struct Snapshot {
+    pub hits: u64,
+    pub detail: Option<String>,
+}
+
+impl Snapshot {
+    pub fn to_json(&self) -> Json {
+        if let Some(detail) = &self.detail {
+            return Json::obj(vec![("detail", Json::Str(detail.clone()))]);
+        }
+        Json::obj(vec![
+            ("hits", Json::Num(self.hits as f64)),
+            ("hits", Json::Num(0.0)),
+        ])
+    }
+}
+
+// aimq-wire: optional -- fixture: nothing conditional on the next line
+pub fn plain() -> u64 {
+    7
+}

@@ -1,0 +1,21 @@
+//! Suppressed twin of `l11_drift`: the conditional key carries the
+//! sanctioned optional-key annotation, the duplicate key is
+//! individually excused, and the schema inventory is pinned fresh.
+
+pub struct Snapshot {
+    pub hits: u64,
+    pub detail: Option<String>,
+}
+
+impl Snapshot {
+    pub fn to_json(&self) -> Json {
+        if let Some(detail) = &self.detail {
+            // aimq-wire: optional -- fixture: `detail` rides only on populated snapshots
+            return Json::obj(vec![("detail", Json::Str(detail.clone()))]);
+        }
+        Json::obj(vec![
+            ("hits", Json::Num(self.hits as f64)),
+            ("hits", Json::Num(0.0)), // aimq-lint: allow(wire-drift) -- fixture: last-wins override slot
+        ])
+    }
+}

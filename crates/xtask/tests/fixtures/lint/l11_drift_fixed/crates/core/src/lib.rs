@@ -1,0 +1,21 @@
+//! Fixed twin of `l11_drift`: one unconditional object literal — the
+//! absent `detail` is spelled `null` instead of vanishing, the
+//! duplicate slot is gone, and the inventory is pinned fresh.
+
+pub struct Snapshot {
+    pub hits: u64,
+    pub detail: Option<String>,
+}
+
+impl Snapshot {
+    pub fn to_json(&self) -> Json {
+        let detail = match &self.detail {
+            Some(d) => Json::Str(d.clone()),
+            None => Json::Null,
+        };
+        Json::obj(vec![
+            ("hits", Json::Num(self.hits as f64)),
+            ("detail", detail),
+        ])
+    }
+}

@@ -1,0 +1,8 @@
+//! L12 fixture, fault-enum side: three public variants the HTTP
+//! boundary is obliged to map one by one.
+
+pub enum ServeError {
+    Overloaded,
+    ShuttingDown,
+    BadRequest,
+}

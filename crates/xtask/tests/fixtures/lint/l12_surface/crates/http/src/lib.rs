@@ -1,0 +1,15 @@
+//! L12 fixture, boundary side: the mapping misses `BadRequest`, the
+//! `overloaded` call disagrees with the documented status, and
+//! `mystery` is not in the DESIGN.md table at all (whose `bad_request`
+//! row in turn matches no call site).
+
+pub fn respond(err: ServeError) -> Response {
+    match err {
+        ServeError::Overloaded => Response::error(500, "overloaded", "throttled"),
+        ServeError::ShuttingDown => Response::error(503, "shutting_down", "draining"),
+    }
+}
+
+pub fn reject() -> Response {
+    Response::error(404, "mystery", "no such thing")
+}

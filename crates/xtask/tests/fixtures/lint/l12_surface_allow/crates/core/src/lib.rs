@@ -1,0 +1,8 @@
+//! Suppressed twin of `l12_surface`, fault-enum side: unchanged —
+//! the suppressions all live at the boundary.
+
+pub enum ServeError {
+    Overloaded,
+    ShuttingDown,
+    BadRequest,
+}

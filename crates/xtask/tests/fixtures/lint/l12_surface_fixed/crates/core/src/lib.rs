@@ -1,0 +1,8 @@
+//! Fixed twin of `l12_surface`, fault-enum side: unchanged — the
+//! fixes all live at the boundary and in the DESIGN.md table.
+
+pub enum ServeError {
+    Overloaded,
+    ShuttingDown,
+    BadRequest,
+}

@@ -1,0 +1,11 @@
+//! Fixed twin of `l12_surface`: every variant has an explicit arm,
+//! every machine code is in the DESIGN.md table at the status the
+//! call actually sends, and every table row has a call site.
+
+pub fn respond(err: ServeError) -> Response {
+    match err {
+        ServeError::Overloaded => Response::error(429, "overloaded", "throttled"),
+        ServeError::ShuttingDown => Response::error(503, "shutting_down", "draining"),
+        ServeError::BadRequest => Response::error(400, "bad_request", "malformed"),
+    }
+}

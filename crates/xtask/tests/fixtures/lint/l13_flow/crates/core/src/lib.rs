@@ -1,0 +1,17 @@
+//! L13 fixture: a fault value is constructed and silently dropped —
+//! the degradation report never hears about it — and a stale
+//! fault-sink annotation excuses a line that constructs nothing.
+
+pub enum QueryError {
+    Timeout,
+}
+
+pub fn degrade(budget: u64) -> u64 {
+    let verdict = QueryError::Timeout;
+    budget / 2
+}
+
+// aimq-fault: sink -- fixture: nothing on the next line constructs a fault
+pub fn plain() -> u64 {
+    7
+}

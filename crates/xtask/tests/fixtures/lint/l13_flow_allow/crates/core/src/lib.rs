@@ -1,0 +1,13 @@
+//! Suppressed twin of `l13_flow`: the construction line vouches for
+//! an out-of-band sink with the fault-sink annotation, so the
+//! dataflow pass stands down.
+
+pub enum QueryError {
+    Timeout,
+}
+
+pub fn degrade(budget: u64) -> u64 {
+    // aimq-fault: sink -- fixture: the caller snapshots `verdict` through a side channel
+    let verdict = QueryError::Timeout;
+    budget / 2
+}

@@ -1,0 +1,14 @@
+//! Fixed twin of `l13_flow`: the fault is raised instead of dropped —
+//! the construction sits inside `Err(..)` on a `return`, an
+//! unambiguous sink.
+
+pub enum QueryError {
+    Timeout,
+}
+
+pub fn degrade(budget: u64) -> Result<u64, QueryError> {
+    if budget == 0 {
+        return Err(QueryError::Timeout);
+    }
+    Ok(budget / 2)
+}

@@ -154,6 +154,25 @@ fn real_workspace_is_lint_clean() {
 }
 
 #[test]
+fn checked_in_wire_schema_inventory_is_current() {
+    // `results/WIRE_SCHEMA.json` is the reviewed wire contract; a new
+    // or renamed JSON key must show up in the diff of that file, never
+    // slide onto the wire silently. Regenerate with
+    // `cargo xtask pin --write` (or `wire --write`).
+    let rendered =
+        xtask::wire_inventory(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("scan workspace");
+    let checked_in = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("results/WIRE_SCHEMA.json"),
+    )
+    .expect("results/WIRE_SCHEMA.json exists");
+    assert_eq!(
+        checked_in, rendered,
+        "wire schema drifted; regenerate with `cargo xtask pin --write` \
+         and review the diff"
+    );
+}
+
+#[test]
 fn probe_free_crates_have_empty_probing_sets() {
     // The L8 fixpoint is the proof: `afd`, `sim`, `rock` and `catalog`
     // are pure in-memory layers, and no function in them may reach
